@@ -1,0 +1,446 @@
+// Package cxlfork is a full-system reproduction of "CXLfork: Fast
+// Remote Fork over CXL Fabrics" (ASPLOS 2025) as a deterministic
+// simulation: a cluster of OS instances sharing a CXL memory device, a
+// remote-fork interface with three implementations (CXLfork, CRIU-CXL,
+// Mitosis-CXL), tiering policies, a serverless workload suite, and the
+// CXLporter autoscaler.
+//
+// This package is the public facade. Virtual time is exposed as
+// time.Duration (the simulation runs in virtual nanoseconds; nothing
+// here touches the wall clock). A typical session:
+//
+//	sys := cxlfork.NewSystem(cxlfork.DefaultConfig())
+//	fn, _ := sys.DeployFunction(0, "Bert")   // cold start on node 0
+//	fn.Warmup(16)                            // JIT steady state
+//	ck, _ := sys.Checkpoint(fn, cxlfork.CXLfork, "bert-v1")
+//	clone, _ := sys.Restore(1, ck, cxlfork.RestoreOptions{})
+//	lat, _ := clone.Invoke()                 // near-warm on node 1
+//
+// The internal packages (see DESIGN.md) expose the full substrate for
+// experiments; cmd/cxlsim regenerates every table and figure of the
+// paper.
+package cxlfork
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/core"
+	"cxlfork/internal/criu"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faas"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/mitosis"
+	"cxlfork/internal/params"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/vma"
+)
+
+// Config describes the simulated platform.
+type Config struct {
+	// Nodes is the number of compute nodes sharing the CXL device.
+	Nodes int
+	// NodeDRAM is per-node local memory in bytes.
+	NodeDRAM int64
+	// CXLCapacity is the shared device capacity in bytes.
+	CXLCapacity int64
+	// CXLLatency is the round-trip latency to CXL memory (391ns on the
+	// paper's FPGA prototype).
+	CXLLatency time.Duration
+	// LLC is the per-node last-level cache size in bytes.
+	LLC int64
+	// Cores is the number of cores per node.
+	Cores int
+	// Seed drives all randomized behaviour (deterministic by default).
+	Seed int64
+}
+
+// DefaultConfig returns a two-node platform matching the paper's
+// testbed, with capacities sized for affordable simulation.
+func DefaultConfig() Config {
+	p := params.Default()
+	return Config{
+		Nodes:       2,
+		NodeDRAM:    6 << 30,
+		CXLCapacity: 8 << 30,
+		CXLLatency:  time.Duration(p.CXLLatency),
+		LLC:         p.LLCBytes,
+		Cores:       p.CoresPerNode,
+		Seed:        1,
+	}
+}
+
+func (c Config) params() params.Params {
+	p := params.Default()
+	if c.NodeDRAM > 0 {
+		p.NodeDRAMBytes = c.NodeDRAM
+	}
+	if c.CXLCapacity > 0 {
+		p.CXLBytes = c.CXLCapacity
+	}
+	if c.CXLLatency > 0 {
+		p.CXLLatency = des.Time(c.CXLLatency)
+	}
+	if c.LLC > 0 {
+		p.LLCBytes = c.LLC
+	}
+	if c.Cores > 0 {
+		p.CoresPerNode = c.Cores
+	}
+	return p
+}
+
+// MechanismKind selects a remote-fork implementation.
+type MechanismKind int
+
+// Remote-fork mechanisms.
+const (
+	// CXLfork is the paper's contribution: zero-copy, zero-serialization
+	// remote fork over shared CXL memory.
+	CXLfork MechanismKind = iota
+	// CRIUCXL is the state-of-practice baseline: serialized image files
+	// on an in-CXL-memory filesystem.
+	CRIUCXL
+	// MitosisCXL is the state-of-the-art baseline: parent-coupled shadow
+	// checkpoint with lazy remote paging over CXL.
+	MitosisCXL
+)
+
+func (m MechanismKind) String() string {
+	switch m {
+	case CRIUCXL:
+		return "CRIU-CXL"
+	case MitosisCXL:
+		return "Mitosis-CXL"
+	default:
+		return "CXLfork"
+	}
+}
+
+// TieringPolicy controls where restored state lives (paper §4.3).
+type TieringPolicy int
+
+// Tiering policies (CXLfork restores only).
+const (
+	// MigrateOnWrite shares read-only state from CXL and copies pages
+	// locally only on stores (default).
+	MigrateOnWrite TieringPolicy = iota
+	// MigrateOnAccess copies every touched page to local memory.
+	MigrateOnAccess
+	// HybridTiering copies pages whose checkpointed Accessed (or
+	// user-declared hot) bit is set; cold pages stay on CXL.
+	HybridTiering
+)
+
+func (t TieringPolicy) String() string { return rfork.Policy(t).String() }
+
+// RestoreOptions tunes a restore.
+type RestoreOptions struct {
+	// Policy selects the tiering policy (CXLfork only).
+	Policy TieringPolicy
+	// DisableDirtyPrefetch turns off the opportunistic copy of
+	// checkpoint-dirty pages (ablation).
+	DisableDirtyPrefetch bool
+	// NaivePageTables copies checkpointed page-table leaves instead of
+	// attaching them (ablation).
+	NaivePageTables bool
+	// SyncHotPrefetch prefetches hot pages synchronously during restore
+	// under hybrid tiering (the design the paper rejects; ablation).
+	SyncHotPrefetch bool
+}
+
+func (o RestoreOptions) internal() rfork.Options {
+	return rfork.Options{
+		Policy:          rfork.Policy(o.Policy),
+		NoDirtyPrefetch: o.DisableDirtyPrefetch,
+		NaivePTCopy:     o.NaivePageTables,
+		SyncHotPrefetch: o.SyncHotPrefetch,
+	}
+}
+
+// System is a simulated CXL-interconnected cluster.
+//
+// A System is not safe for concurrent use: the simulation is
+// single-threaded and advances one shared virtual clock. Concurrency in
+// experiments (e.g. the autoscaler) is expressed through the event
+// queue, not goroutines.
+type System struct {
+	c    *cluster.Cluster
+	rng  *rand.Rand
+	mech map[MechanismKind]rfork.Mechanism
+	reg  map[string]bool // functions with registered+warmed images
+}
+
+// NewSystem boots a cluster.
+func NewSystem(cfg Config) *System {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	c := cluster.New(cfg.params(), cfg.Nodes)
+	return &System{
+		c:   c,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		mech: map[MechanismKind]rfork.Mechanism{
+			CXLfork:    core.New(c.Dev),
+			CRIUCXL:    criu.New(c.CXLFS),
+			MitosisCXL: mitosis.New(),
+		},
+		reg: make(map[string]bool),
+	}
+}
+
+// Now returns the virtual clock.
+func (s *System) Now() time.Duration { return time.Duration(s.c.Eng.Now()) }
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return len(s.c.Nodes) }
+
+// NodeMemoryUsed returns node i's local DRAM usage in bytes.
+func (s *System) NodeMemoryUsed(node int) int64 {
+	return s.c.Node(node).Mem.UsedBytes()
+}
+
+// CXLMemoryUsed returns the shared device occupancy in bytes.
+func (s *System) CXLMemoryUsed() int64 { return s.c.Dev.UsedBytes() }
+
+// FunctionNames lists the built-in workload suite (Table 1).
+func FunctionNames() []string {
+	var out []string
+	for _, sp := range faas.Suite() {
+		out = append(out, sp.Name)
+	}
+	return out
+}
+
+// Function is a live function instance on some node.
+type Function struct {
+	sys  *System
+	in   *faas.Instance
+	node int
+}
+
+// ensureImage registers the function's image files and pre-pulls them on
+// every node (done once per function).
+func (s *System) ensureImage(spec faas.Spec) error {
+	if s.reg[spec.Name] {
+		return nil
+	}
+	faas.RegisterFiles(s.c.FS, s.c.P, spec)
+	for _, n := range s.c.Nodes {
+		if err := faas.WarmLibraries(n, spec); err != nil {
+			return err
+		}
+	}
+	s.reg[spec.Name] = true
+	return nil
+}
+
+// DeployFunction cold-starts one of the built-in functions on a node:
+// the address space is created and state initialization runs in full.
+func (s *System) DeployFunction(node int, name string) (*Function, error) {
+	spec, ok := faas.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("cxlfork: unknown function %q (see FunctionNames)", name)
+	}
+	if err := s.ensureImage(spec); err != nil {
+		return nil, err
+	}
+	in, err := faas.NewInstance(s.c.Node(node), spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.ColdInit(); err != nil {
+		in.Exit()
+		return nil, err
+	}
+	return &Function{sys: s, in: in, node: node}, nil
+}
+
+// Name returns the function name.
+func (f *Function) Name() string { return f.in.Spec.Name }
+
+// Node returns the hosting node index.
+func (f *Function) Node() int { return f.node }
+
+// Invoke runs one invocation and returns its virtual duration.
+func (f *Function) Invoke() (time.Duration, error) {
+	d, err := f.in.Invoke(f.sys.rng)
+	return time.Duration(d), err
+}
+
+// Warmup runs n invocations (the paper checkpoints after the 16th so
+// JIT-style initialization has settled, §5), then clears the A/D bits so
+// a subsequent checkpoint captures the steady-state access pattern.
+func (f *Function) Warmup(n int) error {
+	if n >= 1 {
+		if _, err := f.in.Invoke(f.sys.rng); err != nil {
+			return err
+		}
+		f.in.Task.MM.PT.ClearABits()
+		f.in.Task.MM.PT.ClearDirtyBits()
+		n--
+	}
+	return f.in.Warmup(n, f.sys.rng)
+}
+
+// ResidentLocalBytes returns the instance's node-local resident memory.
+func (f *Function) ResidentLocalBytes() int64 {
+	return int64(f.in.Task.MM.ResidentLocalPages()) * int64(f.sys.c.P.PageSize)
+}
+
+// ResidentCXLBytes returns bytes the instance maps directly from CXL.
+func (f *Function) ResidentCXLBytes() int64 {
+	return int64(f.in.Task.MM.ResidentCXLPages()) * int64(f.sys.c.P.PageSize)
+}
+
+// FaultCounts returns the instance's page-fault breakdown by kind.
+func (f *Function) FaultCounts() map[string]int64 {
+	out := make(map[string]int64)
+	st := &f.in.Task.MM.Stats.Faults
+	for _, k := range []kernel.FaultKind{
+		kernel.FaultAnon, kernel.FaultFileMinor, kernel.FaultFileMajor,
+		kernel.FaultCoWLocal, kernel.FaultCoWCXL, kernel.FaultMoA,
+		kernel.FaultCXLDirect, kernel.FaultMaterialize, kernel.FaultPrefetch,
+	} {
+		if n := st.Count(k); n != 0 {
+			out[k.String()] = n
+		}
+	}
+	return out
+}
+
+// Exit tears the instance down, freeing its local memory.
+func (f *Function) Exit() { f.in.Exit() }
+
+// AddressSpace renders the instance's VMA layout, one mapping per line
+// (start-end, permissions, backing, name).
+func (f *Function) AddressSpace() []string {
+	var out []string
+	f.in.Task.MM.VMAs.Walk(func(v vma.VMA) {
+		out = append(out, v.String())
+	})
+	return out
+}
+
+// Descriptors renders the instance's open descriptor table.
+func (f *Function) Descriptors() []string {
+	var out []string
+	for _, fd := range f.in.Task.FDs.All() {
+		out = append(out, fmt.Sprintf("fd %-3d %-6s %s", fd.Num, fd.Kind, fd.Path))
+	}
+	return out
+}
+
+// Fork clones the function locally with plain fork() semantics
+// (copy-on-write sharing with the parent on the same node).
+func (f *Function) Fork() (*Function, error) {
+	child, err := f.sys.c.Node(f.node).Fork(f.in.Task, f.Name()+"-child")
+	if err != nil {
+		return nil, err
+	}
+	return &Function{sys: f.sys, in: faas.Adopt(child, f.in.Spec), node: f.node}, nil
+}
+
+// Checkpoint is a mechanism-specific process checkpoint.
+type Checkpoint struct {
+	sys  *System
+	img  rfork.Image
+	spec faas.Spec
+	kind MechanismKind
+}
+
+// Checkpoint captures a function's state with the chosen mechanism.
+func (s *System) Checkpoint(f *Function, mech MechanismKind, id string) (*Checkpoint, error) {
+	m, ok := s.mech[mech]
+	if !ok {
+		return nil, fmt.Errorf("cxlfork: unknown mechanism %v", mech)
+	}
+	img, err := m.Checkpoint(f.in.Task, id)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{sys: s, img: img, spec: f.in.Spec, kind: mech}, nil
+}
+
+// ID returns the checkpoint ID.
+func (c *Checkpoint) ID() string { return c.img.ID() }
+
+// Mechanism returns the creating mechanism.
+func (c *Checkpoint) Mechanism() MechanismKind { return c.kind }
+
+// CXLBytes returns device capacity the checkpoint holds.
+func (c *Checkpoint) CXLBytes() int64 { return c.img.CXLBytes() }
+
+// ParentLocalBytes returns parent-node local memory the checkpoint pins
+// (non-zero only for Mitosis-CXL, whose design couples the image to the
+// parent node, §3.1).
+func (c *Checkpoint) ParentLocalBytes() int64 { return c.img.LocalBytes() }
+
+// Pages returns the number of checkpointed data pages.
+func (c *Checkpoint) Pages() int { return c.img.Pages() }
+
+// Release drops the caller's reference; storage is reclaimed when the
+// last clone exits.
+func (c *Checkpoint) Release() { c.img.Release() }
+
+// ClearAccessBits clears the checkpoint's Accessed bits in place — the
+// interface CXLporter uses to re-estimate hot pages (CXLfork only).
+func (c *Checkpoint) ClearAccessBits() (int, error) {
+	ck, ok := c.img.(*core.Checkpoint)
+	if !ok {
+		return 0, fmt.Errorf("cxlfork: %v checkpoints have no A-bit interface", c.kind)
+	}
+	return ck.ClearABits(), nil
+}
+
+// Info describes a checkpoint's layout.
+type Info struct {
+	ID              string
+	Mechanism       string
+	DataPages       int
+	DirtyPages      int
+	FilePages       int
+	VMAs            int
+	PageTableLeaves int
+	VMALeaves       int
+	CXLBytes        int64
+	ParentBytes     int64
+	Refs            int
+}
+
+// Describe returns the checkpoint's layout details (richest for CXLfork
+// checkpoints, whose OS structures live rebased on the device).
+func (c *Checkpoint) Describe() Info {
+	info := Info{
+		ID:          c.img.ID(),
+		Mechanism:   c.img.Mechanism(),
+		DataPages:   c.img.Pages(),
+		CXLBytes:    c.img.CXLBytes(),
+		ParentBytes: c.img.LocalBytes(),
+		Refs:        c.img.Refs(),
+	}
+	if ck, ok := c.img.(*core.Checkpoint); ok {
+		info.DirtyPages = ck.DirtyPages()
+		info.FilePages = ck.FilePages()
+		info.VMAs = ck.VMACount()
+		info.PageTableLeaves = ck.PTLeaves()
+		info.VMALeaves = ck.VMALeaves()
+	}
+	return info
+}
+
+// Restore clones the checkpointed function into a fresh process on the
+// given node and returns it ready to invoke.
+func (s *System) Restore(node int, c *Checkpoint, opts RestoreOptions) (*Function, error) {
+	if err := s.ensureImage(c.spec); err != nil {
+		return nil, err
+	}
+	child := s.c.Node(node).NewTask(c.spec.Name + "-clone")
+	if err := s.mech[c.kind].Restore(child, c.img, opts.internal()); err != nil {
+		s.c.Node(node).Exit(child)
+		return nil, err
+	}
+	return &Function{sys: s, in: faas.Adopt(child, c.spec), node: node}, nil
+}

@@ -1,0 +1,288 @@
+package cxlfork
+
+import (
+	"testing"
+	"time"
+)
+
+// smallConfig keeps facade tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NodeDRAM = 2 << 30
+	cfg.CXLCapacity = 2 << 30
+	return cfg
+}
+
+func deployWarm(t *testing.T, sys *System, name string) *Function {
+	t.Helper()
+	fn, err := sys.DeployFunction(0, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn.Warmup(16); err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func TestFunctionNames(t *testing.T) {
+	names := FunctionNames()
+	if len(names) != 10 {
+		t.Fatalf("suite = %v", names)
+	}
+}
+
+func TestDeployInvoke(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn, err := sys.DeployFunction(0, "Float")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fn.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("zero invocation time")
+	}
+	if fn.ResidentLocalBytes() == 0 {
+		t.Fatal("no resident memory after cold start")
+	}
+	if sys.Now() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+	fn.Exit()
+	if _, err := sys.DeployFunction(0, "Nope"); err == nil {
+		t.Fatal("unknown function deployed")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+
+	ck, err := sys.Checkpoint(fn, CXLfork, "float-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := ck.Describe()
+	if info.DataPages == 0 || info.VMAs == 0 || info.PageTableLeaves == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if ck.ParentLocalBytes() != 0 {
+		t.Fatal("CXLfork checkpoint pinned parent memory")
+	}
+	fn.Exit() // parent may exit: checkpoint is decoupled
+
+	t0 := sys.Now()
+	clone, err := sys.Restore(1, ck, RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreLat := sys.Now() - t0
+	if restoreLat > 20*time.Millisecond {
+		t.Fatalf("restore took %v", restoreLat)
+	}
+	warm, err := clone.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm <= 0 {
+		t.Fatal("no invocation time")
+	}
+	// Most state stays on CXL under migrate-on-write.
+	if clone.ResidentCXLBytes() == 0 {
+		t.Fatal("clone maps nothing from CXL")
+	}
+	if clone.ResidentLocalBytes() >= clone.ResidentCXLBytes() {
+		t.Fatalf("local %d ≥ cxl %d under MoW",
+			clone.ResidentLocalBytes(), clone.ResidentCXLBytes())
+	}
+	clone.Exit()
+	ck.Release()
+	if sys.CXLMemoryUsed() != 0 {
+		t.Fatalf("device holds %d bytes after release", sys.CXLMemoryUsed())
+	}
+}
+
+func TestAllMechanisms(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Json")
+	for _, mech := range []MechanismKind{CXLfork, CRIUCXL, MitosisCXL} {
+		ck, err := sys.Checkpoint(fn, mech, "json-"+mech.String())
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		clone, err := sys.Restore(1, ck, RestoreOptions{})
+		if err != nil {
+			t.Fatalf("%v restore: %v", mech, err)
+		}
+		if _, err := clone.Invoke(); err != nil {
+			t.Fatalf("%v invoke: %v", mech, err)
+		}
+		clone.Exit()
+		ck.Release()
+	}
+	if MitosisCXL.String() != "Mitosis-CXL" || CRIUCXL.String() != "CRIU-CXL" {
+		t.Fatal("mechanism names wrong")
+	}
+}
+
+func TestMitosisPinsParentMemory(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+	ck, err := sys.Checkpoint(fn, MitosisCXL, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.ParentLocalBytes() == 0 {
+		t.Fatal("Mitosis checkpoint pins no parent memory")
+	}
+	if ck.CXLBytes() != 0 {
+		t.Fatal("Mitosis checkpoint on the device")
+	}
+	ck.Release()
+}
+
+func TestTieringPolicies(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+	ck, _ := sys.Checkpoint(fn, CXLfork, "f1")
+
+	mow, err := sys.Restore(1, ck, RestoreOptions{Policy: MigrateOnWrite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moa, err := sys.Restore(1, ck, RestoreOptions{Policy: MigrateOnAccess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mow.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := moa.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if moa.ResidentLocalBytes() <= mow.ResidentLocalBytes() {
+		t.Fatalf("MoA local %d ≤ MoW local %d",
+			moa.ResidentLocalBytes(), mow.ResidentLocalBytes())
+	}
+	if moa.ResidentCXLBytes() != 0 {
+		t.Fatal("MoA left CXL mappings")
+	}
+	counts := moa.FaultCounts()
+	if counts["moa"] == 0 {
+		t.Fatalf("fault counts = %v", counts)
+	}
+}
+
+func TestABitInterface(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+	ck, _ := sys.Checkpoint(fn, CXLfork, "f1")
+	n, err := ck.ClearAccessBits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("steady-state checkpoint had no A bits")
+	}
+	ckCriu, _ := sys.Checkpoint(fn, CRIUCXL, "f2")
+	if _, err := ckCriu.ClearAccessBits(); err == nil {
+		t.Fatal("CRIU exposed an A-bit interface")
+	}
+}
+
+func TestLocalFork(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+	before := sys.NodeMemoryUsed(0)
+	child, err := fn.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.NodeMemoryUsed(0) - before; got != 0 {
+		t.Fatalf("fork copied %d bytes", got)
+	}
+	if _, err := child.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	child.Exit()
+}
+
+func TestRestoreLatencyOrdering(t *testing.T) {
+	// The paper's core claim end-to-end through the public API: CXLfork
+	// restores faster than Mitosis, which restores faster than CRIU.
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "HTML")
+	lat := make(map[MechanismKind]time.Duration)
+	for _, mech := range []MechanismKind{CXLfork, CRIUCXL, MitosisCXL} {
+		ck, err := sys.Checkpoint(fn, mech, "h-"+mech.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := sys.Now()
+		clone, err := sys.Restore(1, ck, RestoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[mech] = sys.Now() - t0
+		clone.Exit()
+		ck.Release()
+	}
+	if !(lat[CXLfork] < lat[MitosisCXL] && lat[MitosisCXL] < lat[CRIUCXL]) {
+		t.Fatalf("restore ordering: %v", lat)
+	}
+}
+
+func TestAutoscalerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autoscaler calibration is slow")
+	}
+	sys := NewSystem(smallConfig())
+	res, err := sys.RunAutoscaler(AutoscalerConfig{
+		Mechanism:      CXLfork,
+		DynamicTiering: true,
+		Functions:      []string{"Float", "Json"},
+		RPS:            40,
+		Duration:       5 * time.Second,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.P99 == 0 {
+		t.Fatalf("results = %+v", res)
+	}
+	if res.P50 > res.P99 {
+		t.Fatal("P50 > P99")
+	}
+	if len(res.PerFunctionP99) == 0 {
+		t.Fatal("no per-function percentiles")
+	}
+}
+
+func TestWorkflowChain(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	bv, err := sys.RunWorkflowChain(3, 4<<20, PassByValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewSystem(smallConfig())
+	br, err := sys2.RunWorkflowChain(3, 4<<20, PassByReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.LocalBytesCopied != 0 {
+		t.Fatalf("by-reference copied %d bytes", br.LocalBytesCopied)
+	}
+	if bv.LocalBytesCopied == 0 {
+		t.Fatal("by-value copied nothing")
+	}
+	if br.Latency >= bv.Latency {
+		t.Fatalf("by-reference %v not faster than by-value %v", br.Latency, bv.Latency)
+	}
+	if _, err := sys.RunWorkflowChain(1, 1<<20, PassByValue); err == nil {
+		t.Fatal("degenerate chain accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module cxlfork
+
+go 1.22

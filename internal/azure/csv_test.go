@@ -1,0 +1,76 @@
+package azure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cxlfork/internal/des"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate(cfg(11))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Function != orig[i].Function {
+			t.Fatalf("row %d function %q vs %q", i, got[i].Function, orig[i].Function)
+		}
+		// Times survive within microsecond precision.
+		d := got[i].At - orig[i].At
+		if d < 0 {
+			d = -d
+		}
+		if d > des.Microsecond {
+			t.Fatalf("row %d time drift %v", i, d)
+		}
+	}
+}
+
+func TestReadCSVHeaderAndSorting(t *testing.T) {
+	in := "seconds,function\n2.5,B\n0.5,A\n1.0,C\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0].Function != "A" || got[2].Function != "B" {
+		t.Fatalf("not sorted: %+v", got)
+	}
+	if got[0].At != des.Time(0.5*float64(des.Second)) {
+		t.Fatalf("time = %v", got[0].At)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"0.5,A\nbad,B\n", // bad time past header position
+		"0.5,A\n-1,B\n",  // negative time
+		"0.5,A\n1.0,\n",  // empty function
+		"0.5\n",          // wrong column count
+		"0.5,A,extra\n",  // wrong column count
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+}

@@ -1,0 +1,30 @@
+package cachesim
+
+import "testing"
+
+func BenchmarkPageLRUHit(b *testing.B) {
+	c := NewPageLRU(16384)
+	for i := uint64(0); i < 16384; i++ {
+		c.Access(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i % 16384))
+	}
+}
+
+func BenchmarkPageLRUThrash(b *testing.B) {
+	c := NewPageLRU(16384)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i % 40000))
+	}
+}
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	c := NewSetAssoc(1<<20, 64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64) % (4 << 20))
+	}
+}

@@ -1,0 +1,149 @@
+// Package cachesim models the per-node last-level cache.
+//
+// Two models are provided. PageLRU is the model the FaaS execution
+// engine uses: it tracks residency at page granularity with exact LRU
+// replacement, which is cheap enough to simulate multi-hundred-megabyte
+// working sets and captures the effect the paper leans on — function
+// working sets that fit in the 64 MB L3 hide CXL latency; those that do
+// not (BFS, Bert) expose it (§2.2, §7.1). SetAssoc is an exact
+// line-granularity set-associative cache used by microbenchmarks and
+// tests to validate PageLRU's behaviour on small footprints.
+package cachesim
+
+// Line identifies a cached unit: for PageLRU callers use the physical
+// frame key (caches are physically indexed, so sharers hit on each
+// other's lines); any uint64 key works.
+type Line = uint64
+
+// node is one entry in the intrusive LRU list. Entries live in a
+// preallocated arena so steady-state operation performs no allocation.
+type node struct {
+	key        Line
+	prev, next int32
+}
+
+const nilIdx = -1
+
+// PageLRU is an exact-LRU fully-associative cache tracked at page
+// granularity.
+type PageLRU struct {
+	capacity int
+	nodes    []node
+	head     int32 // MRU
+	tail     int32 // LRU
+	items    map[Line]int32
+	free     []int32
+
+	Hits   int64
+	Misses int64
+}
+
+// NewPageLRU returns a cache holding capacityPages pages.
+func NewPageLRU(capacityPages int) *PageLRU {
+	if capacityPages <= 0 {
+		panic("cachesim: capacity must be positive")
+	}
+	c := &PageLRU{
+		capacity: capacityPages,
+		head:     nilIdx,
+		tail:     nilIdx,
+		items:    make(map[Line]int32, capacityPages),
+	}
+	return c
+}
+
+// Capacity returns the capacity in pages.
+func (c *PageLRU) Capacity() int { return c.capacity }
+
+// Len returns the number of resident pages.
+func (c *PageLRU) Len() int { return len(c.items) }
+
+func (c *PageLRU) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev != nilIdx {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nilIdx {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *PageLRU) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev = nilIdx
+	n.next = c.head
+	if c.head != nilIdx {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == nilIdx {
+		c.tail = i
+	}
+}
+
+// Access touches key, returning true on hit. On miss the key is
+// installed, evicting the LRU page if the cache is full.
+func (c *PageLRU) Access(key Line) bool {
+	if i, ok := c.items[key]; ok {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	var i int32
+	switch {
+	case len(c.items) >= c.capacity:
+		// Reuse the LRU slot.
+		i = c.tail
+		c.unlink(i)
+		delete(c.items, c.nodes[i].key)
+	case len(c.free) > 0:
+		i = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	default:
+		c.nodes = append(c.nodes, node{})
+		i = int32(len(c.nodes) - 1)
+	}
+	c.nodes[i].key = key
+	c.pushFront(i)
+	c.items[key] = i
+	return false
+}
+
+// Contains reports residency without touching recency or counters.
+func (c *PageLRU) Contains(key Line) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Invalidate removes key if resident (page migration, frame free).
+func (c *PageLRU) Invalidate(key Line) {
+	if i, ok := c.items[key]; ok {
+		c.unlink(i)
+		delete(c.items, key)
+		c.free = append(c.free, i)
+	}
+}
+
+// Reset empties the cache and clears counters.
+func (c *PageLRU) Reset() {
+	c.nodes = c.nodes[:0]
+	c.free = c.free[:0]
+	c.head, c.tail = nilIdx, nilIdx
+	c.items = make(map[Line]int32, c.capacity)
+	c.Hits, c.Misses = 0, 0
+}
+
+// Key packs an address-space id and page number into a cache key. The
+// TLB (virtually indexed) uses this; the LLC is keyed by physical frame
+// identity instead.
+func Key(space uint32, page uint64) Line {
+	return uint64(space)<<32 | (page & 0xffffffff)
+}

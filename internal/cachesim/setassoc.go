@@ -1,0 +1,75 @@
+package cachesim
+
+// SetAssoc is an exact set-associative cache with LRU replacement within
+// each set, tracked at cache-line granularity. It is used by the fault
+// microbenchmarks and as an oracle in tests; the FaaS engine uses
+// PageLRU for scale.
+type SetAssoc struct {
+	ways     int
+	sets     int
+	lineSize int
+
+	// sets[i] holds up to `ways` tags in LRU order (front = MRU).
+	tags [][]uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewSetAssoc builds a cache of capacityBytes with the given line size
+// and associativity. capacityBytes must be divisible by lineSize*ways.
+func NewSetAssoc(capacityBytes int64, lineSize, ways int) *SetAssoc {
+	if lineSize <= 0 || ways <= 0 {
+		panic("cachesim: invalid geometry")
+	}
+	lines := capacityBytes / int64(lineSize)
+	sets := int(lines) / ways
+	if sets <= 0 || int64(sets*ways*lineSize) != capacityBytes {
+		panic("cachesim: capacity not divisible by lineSize*ways")
+	}
+	c := &SetAssoc{ways: ways, sets: sets, lineSize: lineSize}
+	c.tags = make([][]uint64, sets)
+	return c
+}
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// LineSize returns the line size in bytes.
+func (c *SetAssoc) LineSize() int { return c.lineSize }
+
+// Access touches the line containing byte address addr; true on hit.
+func (c *SetAssoc) Access(addr uint64) bool {
+	line := addr / uint64(c.lineSize)
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	s := c.tags[set]
+	for i, t := range s {
+		if t == tag {
+			// Move to front (MRU).
+			copy(s[1:i+1], s[:i])
+			s[0] = tag
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	if len(s) < c.ways {
+		s = append(s, 0)
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = tag
+	c.tags[set] = s
+	return false
+}
+
+// Reset empties the cache and clears counters.
+func (c *SetAssoc) Reset() {
+	for i := range c.tags {
+		c.tags[i] = nil
+	}
+	c.Hits, c.Misses = 0, 0
+}

@@ -1,0 +1,72 @@
+// Package cluster assembles the simulated platform: N nodes, each
+// running a standalone kernel instance with local DRAM, LLC and TLB,
+// all sharing one root filesystem and one CXL memory device over the
+// fabric — the paper's testbed topology (§6.1) generalized from two
+// nodes to N.
+package cluster
+
+import (
+	"fmt"
+
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/fsim"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/params"
+)
+
+// Cluster is a set of nodes sharing a CXL device and root filesystem.
+type Cluster struct {
+	P     params.Params
+	Eng   *des.Engine
+	Dev   *cxl.Device
+	FS    *fsim.FS
+	CXLFS *fsim.CXLFS
+	Nodes []*kernel.OS
+}
+
+// New builds a cluster of n nodes with the given parameters. All nodes
+// share one virtual clock: the simulation is sequential, and concurrent
+// scenarios are expressed through the engine's event queue.
+func New(p params.Params, n int) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one node")
+	}
+	eng := des.NewEngine()
+	dev := cxl.NewDevice(p)
+	fs := fsim.NewFS()
+	c := &Cluster{
+		P:     p,
+		Eng:   eng,
+		Dev:   dev,
+		FS:    fs,
+		CXLFS: fsim.NewCXLFS(dev),
+	}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, kernel.NewOS(fmt.Sprintf("node%d", i), p, eng, dev, fs, p.NodeDRAMBytes))
+	}
+	return c
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *kernel.OS { return c.Nodes[i] }
+
+// WarmAll pulls a file into every node's page cache (image pre-pull, so
+// library faults are page-cache minors on steady-state nodes).
+func (c *Cluster) WarmAll(path string) error {
+	for _, n := range c.Nodes {
+		if err := n.WarmFile(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LocalUsedBytes returns the summed local DRAM usage across nodes.
+func (c *Cluster) LocalUsedBytes() int64 {
+	var total int64
+	for _, n := range c.Nodes {
+		total += n.Mem.UsedBytes()
+	}
+	return total
+}

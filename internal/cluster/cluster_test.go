@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+
+	"cxlfork/internal/params"
+)
+
+func small() params.Params {
+	p := params.Default()
+	p.NodeDRAMBytes = 16 << 20
+	p.CXLBytes = 16 << 20
+	return p
+}
+
+func TestNewCluster(t *testing.T) {
+	c := New(small(), 3)
+	if len(c.Nodes) != 3 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	// Nodes share the engine, device and root FS but have private DRAM.
+	if c.Node(0).Eng != c.Node(2).Eng || c.Node(0).Dev != c.Node(1).Dev || c.Node(0).FS != c.Node(1).FS {
+		t.Fatal("shared substrate not shared")
+	}
+	if c.Node(0).Mem == c.Node(1).Mem {
+		t.Fatal("nodes share DRAM")
+	}
+	if c.Node(0).Name == c.Node(1).Name {
+		t.Fatal("node names collide")
+	}
+}
+
+func TestWarmAll(t *testing.T) {
+	c := New(small(), 2)
+	c.FS.Create("/img/lib.so", 8*4096)
+	if err := c.WarmAll("/img/lib.so"); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if n.PageCache.Pages() != 8 {
+			t.Fatalf("%s page cache = %d", n.Name, n.PageCache.Pages())
+		}
+	}
+	if err := c.WarmAll("/missing"); err == nil {
+		t.Fatal("warming a missing file succeeded")
+	}
+}
+
+func TestLocalUsedBytes(t *testing.T) {
+	c := New(small(), 2)
+	c.Node(0).Mem.MustAlloc()
+	c.Node(1).Mem.MustAlloc()
+	c.Node(1).Mem.MustAlloc()
+	if got := c.LocalUsedBytes(); got != 3*4096 {
+		t.Fatalf("LocalUsedBytes = %d", got)
+	}
+}
+
+func TestZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty cluster")
+		}
+	}()
+	New(small(), 0)
+}

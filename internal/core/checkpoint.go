@@ -1,0 +1,345 @@
+// Package core implements CXLfork, the paper's primary contribution: a
+// remote fork that checkpoints process state into shared CXL memory
+// mostly as-is (zero serialization for private state), rebases the
+// checkpointed OS structures onto device offsets so any node can use
+// them, and restores clones in near constant time by attaching the
+// checkpointed page-table and VMA-tree leaves instead of reconstructing
+// them (paper §4).
+package core
+
+import (
+	"fmt"
+
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/memsim"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/vma"
+)
+
+// ptLeafRef is one rebased page-table leaf: its virtual base plus the
+// arena offset of the leaf object. The sorted slice of refs is the
+// checkpointed tree's "upper levels" in machine-independent form.
+type ptLeafRef struct {
+	base pt.VirtAddr
+	off  cxl.Offset
+}
+
+// Checkpoint is a CXLfork checkpoint resident on the CXL device.
+//
+// Layout: data pages live as frames in the device's shared pool;
+// page-table leaves, VMA leaves, and the lightly-serialized global
+// state live in a per-checkpoint arena, referenced by offsets. The
+// leaf PTEs store device PFNs with the OnCXL flag — the result of the
+// rebase step (§4.1 step 7) — so any OS instance can dereference them.
+type Checkpoint struct {
+	id    string
+	dev   *cxl.Device
+	arena *cxl.Arena
+
+	ptLeaves  []ptLeafRef
+	vmaLeaves []cxl.Offset
+	globalOff cxl.Offset
+
+	frames []*memsim.Frame // owned CXL data frames
+
+	dataPages  int
+	dirtyPages int
+	filePages  int
+	vmaCount   int
+
+	refs int
+}
+
+// Statically assert the rfork.Image contract.
+var _ rfork.Image = (*Checkpoint)(nil)
+
+// ID returns the checkpoint ID.
+func (c *Checkpoint) ID() string { return c.id }
+
+// Mechanism returns "CXLfork".
+func (c *Checkpoint) Mechanism() string { return "CXLfork" }
+
+// CXLBytes returns device bytes held: data frames plus arena metadata.
+func (c *Checkpoint) CXLBytes() int64 {
+	return int64(c.dataPages)*int64(c.dev.Pool().PageSize()) + c.arena.Bytes()
+}
+
+// LocalBytes is zero: CXLfork holds no parent-node state, so the parent
+// may exit and its node is not a point of failure (§3.1).
+func (c *Checkpoint) LocalBytes() int64 { return 0 }
+
+// Pages returns the number of checkpointed data pages.
+func (c *Checkpoint) Pages() int { return c.dataPages }
+
+// DirtyPages returns how many checkpointed pages carry the Dirty bit.
+func (c *Checkpoint) DirtyPages() int { return c.dirtyPages }
+
+// FilePages returns how many checkpointed pages back private file
+// mappings.
+func (c *Checkpoint) FilePages() int { return c.filePages }
+
+// VMACount returns the number of checkpointed VMAs.
+func (c *Checkpoint) VMACount() int { return c.vmaCount }
+
+// PTLeaves returns the number of checkpointed page-table leaves.
+func (c *Checkpoint) PTLeaves() int { return len(c.ptLeaves) }
+
+// VMALeaves returns the number of checkpointed VMA leaves.
+func (c *Checkpoint) VMALeaves() int { return len(c.vmaLeaves) }
+
+// Refs returns the reference count.
+func (c *Checkpoint) Refs() int { return c.refs }
+
+// Retain adds a reference.
+func (c *Checkpoint) Retain() { c.refs++ }
+
+// Release drops a reference; at zero the data frames and the arena are
+// reclaimed.
+func (c *Checkpoint) Release() {
+	if c.refs <= 0 {
+		panic("core: Release on dead checkpoint")
+	}
+	c.refs--
+	if c.refs > 0 {
+		return
+	}
+	pool := c.dev.Pool()
+	for _, f := range c.frames {
+		pool.Put(f)
+	}
+	c.frames = nil
+	c.arena.Release()
+}
+
+// leafFor returns the checkpointed page-table leaf covering va, or nil.
+func (c *Checkpoint) leafFor(va pt.VirtAddr) *pt.Leaf {
+	base := va.LeafBase()
+	lo, hi := 0, len(c.ptLeaves)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.ptLeaves[mid].base < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.ptLeaves) && c.ptLeaves[lo].base == base {
+		return cxl.Get[*pt.Leaf](c.arena, c.ptLeaves[lo].off)
+	}
+	return nil
+}
+
+// PTE returns the checkpointed PTE for va (zero PTE if absent).
+func (c *Checkpoint) PTE(va pt.VirtAddr) pt.PTE {
+	l := c.leafFor(va)
+	if l == nil {
+		return pt.PTE{}
+	}
+	return l.PTEs[int(va.PageNumber())&(pt.EntriesPerTable-1)]
+}
+
+// ClearABits clears the Accessed bit on every checkpointed PTE, in
+// place on the CXL device — the user-space interface CXLporter uses to
+// re-estimate hot pages (§4.3). It returns the number cleared.
+func (c *Checkpoint) ClearABits() int {
+	n := 0
+	for _, ref := range c.ptLeaves {
+		l := cxl.Get[*pt.Leaf](c.arena, ref.off)
+		for i := range l.PTEs {
+			if l.PTEs[i].Present() && l.PTEs[i].Flags.Has(pt.Accessed) {
+				l.PTEs[i].Flags &^= pt.Accessed
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// HotPages counts checkpointed pages currently marked Accessed or
+// UserHot.
+func (c *Checkpoint) HotPages() int {
+	n := 0
+	for _, ref := range c.ptLeaves {
+		l := cxl.Get[*pt.Leaf](c.arena, ref.off)
+		for i := range l.PTEs {
+			if l.PTEs[i].Present() &&
+				(l.PTEs[i].Flags.Has(pt.Accessed) || l.PTEs[i].Flags.Has(pt.UserHot)) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetUserHot sets the UserHot software bit on the checkpointed PTE for
+// va — the interface user-space profilers use to pin pages hot for
+// future restores (§4.3). It reports whether va was checkpointed.
+func (c *Checkpoint) SetUserHot(va pt.VirtAddr) bool {
+	l := c.leafFor(va)
+	if l == nil {
+		return false
+	}
+	e := &l.PTEs[int(va.PageNumber())&(pt.EntriesPerTable-1)]
+	if !e.Present() {
+		return false
+	}
+	e.Flags |= pt.UserHot
+	return true
+}
+
+// Mechanism is the CXLfork rfork.Mechanism.
+type Mechanism struct {
+	// Dev is the CXL device checkpoints are placed on.
+	Dev *cxl.Device
+}
+
+// New returns the CXLfork mechanism over the device.
+func New(dev *cxl.Device) *Mechanism { return &Mechanism{Dev: dev} }
+
+// Name returns "CXLfork".
+func (m *Mechanism) Name() string { return "CXLfork" }
+
+// Checkpoint captures parent into CXL memory (paper §4.1, Fig. 4a):
+// private state (task/MM descriptors, page tables, data pages) is
+// copied as-is with non-temporal stores and rebased onto device
+// offsets; global state (descriptors, mounts, PID namespace) is lightly
+// serialized. A and D bits of the parent's page tables are preserved.
+func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
+	o := parent.OS
+	p := o.P
+	arena, err := m.Dev.NewArena(id)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{id: id, dev: m.Dev, arena: arena, refs: 1}
+	pool := m.Dev.Pool()
+	var cost des.Time
+
+	// Task and MM descriptors (steps 1-3): native memory copies.
+	cost += p.StructCopy
+
+	// VMA tree leaves: copied as-is, marked immutable (step 2).
+	var vmaErr error
+	srcVMAs := collectVMALeaves(parent)
+	for _, leaf := range srcVMAs {
+		ckLeaf := leaf.Clone()
+		ckLeaf.InCXL = true
+		ckLeaf.Protected = true
+		off, err := arena.Alloc(ckLeaf, int64(len(ckLeaf.VMAs))*96)
+		if err != nil {
+			vmaErr = err
+			break
+		}
+		ck.vmaLeaves = append(ck.vmaLeaves, off)
+		ck.vmaCount += len(ckLeaf.VMAs)
+		cost += des.Time(len(ckLeaf.VMAs)) * p.VMACheckpoint
+	}
+	if vmaErr != nil {
+		ck.Release()
+		return nil, vmaErr
+	}
+
+	// Page tables and data pages (steps 4-7): copy each leaf, copy each
+	// present page into a CXL frame, rewrite the PTE to the device PFN
+	// (read-only, CoW), preserving A/D and software bits — the rebase.
+	var ptErr error
+	parent.MM.PT.WalkLeaves(func(base pt.VirtAddr, leaf *pt.Leaf) {
+		if ptErr != nil {
+			return
+		}
+		ckLeaf := &pt.Leaf{InCXL: true, Protected: true}
+		for i := range leaf.PTEs {
+			e := leaf.PTEs[i]
+			if !e.Present() {
+				continue
+			}
+			var src *memsim.Frame
+			if e.Flags.Has(pt.OnCXL) {
+				// Parent is itself a clone still mapping checkpoint
+				// pages; copy CXL→CXL.
+				src = pool.Frame(int(e.PFN))
+			} else {
+				src = o.Mem.Frame(int(e.PFN))
+			}
+			dst, err := pool.Alloc()
+			if err != nil {
+				ptErr = err
+				return
+			}
+			memsim.Copy(dst, src)
+			ck.frames = append(ck.frames, dst)
+			m.Dev.WriteBytes += int64(p.PageSize)
+
+			keep := e.Flags & (pt.Accessed | pt.Dirty | pt.FileBacked | pt.UserHot)
+			ckLeaf.PTEs[i] = pt.PTE{
+				Flags: pt.Present | pt.CoW | pt.OnCXL | keep,
+				PFN:   int32(dst.PFN()),
+			}
+			ck.dataPages++
+			if e.Flags.Has(pt.Dirty) {
+				ck.dirtyPages++
+			}
+			if e.Flags.Has(pt.FileBacked) {
+				ck.filePages++
+			}
+			cost += p.CXLWritePage + p.PTERebase
+		}
+		off, err := arena.Alloc(ckLeaf, int64(p.PageSize))
+		if err != nil {
+			ptErr = err
+			return
+		}
+		ck.ptLeaves = append(ck.ptLeaves, ptLeafRef{base: base, off: off})
+	})
+	if ptErr != nil {
+		ck.Release()
+		return nil, ptErr
+	}
+
+	// Global state (step 8): light serialization of paths, permissions,
+	// mounts, PID namespace, and the register file.
+	gs := rfork.CaptureGlobalState(parent)
+	blob := gs.Encode()
+	off, err := arena.Alloc(blob, int64(len(blob)))
+	if err != nil {
+		ck.Release()
+		return nil, err
+	}
+	ck.globalOff = off
+	cost += des.Time(len(gs.FDs)) * p.FDSerialize
+	cost += p.StructCopy // mounts + pidns records
+
+	o.Eng.Advance(cost)
+	return ck, nil
+}
+
+// collectVMALeaves snapshots the parent's VMA tree as leaves of at most
+// vma.LeafCap entries, in address order.
+func collectVMALeaves(parent *kernel.Task) []*vma.Leaf {
+	var leaves []*vma.Leaf
+	cur := &vma.Leaf{}
+	parent.MM.VMAs.Walk(func(v vma.VMA) {
+		cur.VMAs = append(cur.VMAs, v)
+		if len(cur.VMAs) == vma.LeafCap {
+			leaves = append(leaves, cur)
+			cur = &vma.Leaf{}
+		}
+	})
+	if len(cur.VMAs) > 0 {
+		leaves = append(leaves, cur)
+	}
+	return leaves
+}
+
+// globalState decodes the checkpoint's global-state blob.
+func (c *Checkpoint) globalState() (rfork.GlobalState, error) {
+	blob := cxl.Get[[]byte](c.arena, c.globalOff)
+	gs, err := rfork.DecodeGlobalState(blob)
+	if err != nil {
+		return gs, fmt.Errorf("core: corrupt global state in %s: %w", c.id, err)
+	}
+	return gs, nil
+}

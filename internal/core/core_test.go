@@ -1,0 +1,349 @@
+package core_test
+
+import (
+	"testing"
+
+	"cxlfork/internal/core"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/rforktest"
+)
+
+func checkpointParent(t *testing.T) (ck *core.Checkpoint, parent *kernel.Task, env *testEnv) {
+	t.Helper()
+	c := rforktest.NewCluster(t)
+	parent = rforktest.BuildParent(t, c)
+	mech := core.New(c.Dev)
+	img, err := mech.Checkpoint(parent, "ck-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img.(*core.Checkpoint), parent, &testEnv{c: c, mech: mech}
+}
+
+type testEnv struct {
+	c interface {
+		Node(int) *kernel.OS
+	}
+	mech *core.Mechanism
+}
+
+func (e *testEnv) restore(t *testing.T, ck *core.Checkpoint, node int, opts rfork.Options) *kernel.Task {
+	t.Helper()
+	child := e.c.Node(node).NewTask("clone")
+	if err := e.mech.Restore(child, ck, opts); err != nil {
+		t.Fatal(err)
+	}
+	return child
+}
+
+func TestCheckpointCapturesEverything(t *testing.T) {
+	ck, parent, _ := checkpointParent(t)
+	wantPages := rforktest.LibPages + rforktest.HeapPages
+	if ck.Pages() != wantPages {
+		t.Fatalf("checkpointed %d pages, want %d", ck.Pages(), wantPages)
+	}
+	if ck.FilePages() != rforktest.LibPages {
+		t.Fatalf("file pages = %d, want %d", ck.FilePages(), rforktest.LibPages)
+	}
+	// Steady-state D bits: only the RW region was re-written.
+	if ck.DirtyPages() != rforktest.HeapRWPages {
+		t.Fatalf("dirty pages = %d, want %d", ck.DirtyPages(), rforktest.HeapRWPages)
+	}
+	if ck.VMACount() != parent.MM.VMAs.Count() {
+		t.Fatalf("vma count = %d, want %d", ck.VMACount(), parent.MM.VMAs.Count())
+	}
+	if ck.CXLBytes() == 0 || ck.LocalBytes() != 0 {
+		t.Fatalf("placement wrong: cxl=%d local=%d", ck.CXLBytes(), ck.LocalBytes())
+	}
+}
+
+func TestCheckpointIsRebased(t *testing.T) {
+	ck, parent, _ := checkpointParent(t)
+	// Every checkpointed PTE must reference CXL device frames, never the
+	// parent node's pool — the rebase invariant.
+	parent.MM.PT.Walk(func(va pt.VirtAddr, _ *pt.Leaf, _ int) {
+		e := ck.PTE(va)
+		if !e.Present() {
+			t.Fatalf("page %#x missing from checkpoint", uint64(va))
+		}
+		if !e.Flags.Has(pt.OnCXL) {
+			t.Fatalf("PTE at %#x not rebased to CXL", uint64(va))
+		}
+		if e.Flags.Has(pt.Writable) {
+			t.Fatalf("checkpointed PTE at %#x writable", uint64(va))
+		}
+		if !e.Flags.Has(pt.CoW) {
+			t.Fatalf("checkpointed PTE at %#x not CoW", uint64(va))
+		}
+	})
+}
+
+func TestCheckpointSurvivesParentExit(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	snap := rforktest.SnapshotTokens(parent)
+	parent.OS.Exit(parent) // CXLfork decouples state from the initiator (§3.1)
+
+	child := env.restore(t, ck, 1, rfork.Options{})
+	rforktest.VerifyCloneContent(t, child, snap)
+}
+
+func TestRestoreMoWAttachesLeaves(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	snap := rforktest.SnapshotTokens(parent)
+	child := env.restore(t, ck, 1, rfork.Options{Policy: rfork.MigrateOnWrite})
+
+	st := child.MM.PT.Stats()
+	if st.AttachedLeaves == 0 {
+		t.Fatal("no page-table leaves attached")
+	}
+	if child.MM.VMAs.Stats().AttachedLeaves == 0 {
+		t.Fatal("no VMA leaves attached")
+	}
+	rforktest.VerifyCloneContent(t, child, snap)
+	// Reads must not have copied anything: no MoA/CoW faults, and (apart
+	// from the prefetched dirty pages) the data stays on CXL.
+	f := child.MM.Stats.Faults
+	if f.Count(kernel.FaultMoA) != 0 || f.Count(kernel.FaultCoWCXL) != 0 {
+		t.Fatalf("reads caused copies: %+v", f.Counts)
+	}
+	if got := child.MM.ResidentLocalPages(); got != ck.DirtyPages() {
+		t.Fatalf("local pages after reads = %d, want only %d prefetched", got, ck.DirtyPages())
+	}
+}
+
+func TestRestoreDirtyPrefetch(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	child := env.restore(t, ck, 1, rfork.Options{})
+	// Dirty pages were prefetched writable: a store is fault-free.
+	f0 := child.MM.Stats.Faults.Total()
+	va := rforktest.AddrOf(rforktest.HeapBase, rforktest.HeapROPages) // first RW page
+	if err := child.MM.Access(va, true); err != nil {
+		t.Fatal(err)
+	}
+	if child.MM.Stats.Faults.Total() != f0 {
+		t.Fatal("store to prefetched dirty page faulted")
+	}
+	if child.MM.Stats.Faults.Count(kernel.FaultPrefetch) != int64(ck.DirtyPages()) {
+		t.Fatalf("prefetch count = %d, want %d",
+			child.MM.Stats.Faults.Count(kernel.FaultPrefetch), ck.DirtyPages())
+	}
+}
+
+func TestRestoreNoPrefetchCoWs(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	child := env.restore(t, ck, 1, rfork.Options{NoDirtyPrefetch: true})
+	va := rforktest.AddrOf(rforktest.HeapBase, rforktest.HeapROPages)
+	if err := child.MM.Access(va, true); err != nil {
+		t.Fatal(err)
+	}
+	if child.MM.Stats.Faults.Count(kernel.FaultCoWCXL) != 1 {
+		t.Fatal("store did not CoW from CXL")
+	}
+	// The checkpoint is pristine: the CXL copy still holds the parent's
+	// content.
+	e := ck.PTE(va)
+	if !e.Present() {
+		t.Fatal("checkpoint PTE vanished")
+	}
+}
+
+func TestCoWDoesNotCorruptCheckpoint(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	snap := rforktest.SnapshotTokens(parent)
+	child1 := env.restore(t, ck, 1, rfork.Options{NoDirtyPrefetch: true})
+
+	// Clone 1 scribbles over everything.
+	for i := 0; i < rforktest.HeapPages; i++ {
+		if err := child1.MM.Access(rforktest.AddrOf(rforktest.HeapBase, i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Clone 2 still reads the parent's content.
+	child2 := env.restore(t, ck, 0, rfork.Options{NoDirtyPrefetch: true})
+	rforktest.VerifyCloneContent(t, child2, snap)
+}
+
+func TestClonesShareCXLState(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	c1 := env.restore(t, ck, 0, rfork.Options{})
+	c2 := env.restore(t, ck, 1, rfork.Options{})
+	va := rforktest.AddrOf(rforktest.HeapBase, 0) // RO page
+	if err := c1.MM.Access(va, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.MM.Access(va, false); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := c1.MM.PT.Lookup(va)
+	e2, _ := c2.MM.PT.Lookup(va)
+	if !e1.Flags.Has(pt.OnCXL) || !e2.Flags.Has(pt.OnCXL) || e1.PFN != e2.PFN {
+		t.Fatalf("clones on different nodes do not share the CXL frame: %+v %+v", e1, e2)
+	}
+}
+
+func TestRestoreMoA(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	snap := rforktest.SnapshotTokens(parent)
+	child := env.restore(t, ck, 1, rfork.Options{Policy: rfork.MigrateOnAccess})
+
+	if child.MM.PT.Stats().AttachedLeaves != 0 {
+		t.Fatal("MoA attached page-table leaves")
+	}
+	rforktest.VerifyCloneContent(t, child, snap)
+	// Every page read was copied to local memory.
+	if got := child.MM.ResidentCXLPages(); got != 0 {
+		t.Fatalf("MoA left %d pages mapped from CXL", got)
+	}
+	if child.MM.Stats.Faults.Count(kernel.FaultMoA) == 0 {
+		t.Fatal("no MoA faults recorded")
+	}
+}
+
+func TestRestoreHybridTiering(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	snap := rforktest.SnapshotTokens(parent)
+	// Parent steady state: RO heap pages have A set (hot); library pages
+	// were only touched at init before the A-bit clear (cold).
+	child := env.restore(t, ck, 1, rfork.Options{Policy: rfork.HybridTiering})
+	rforktest.VerifyCloneContent(t, child, snap)
+
+	// Hot RO pages were copied local; cold library pages stayed on CXL.
+	hotVA := rforktest.AddrOf(rforktest.HeapBase, 0)
+	coldVA := rforktest.AddrOf(rforktest.LibBase, 0)
+	he, _ := child.MM.PT.Lookup(hotVA)
+	ce, _ := child.MM.PT.Lookup(coldVA)
+	if he.Flags.Has(pt.OnCXL) {
+		t.Fatal("hot page not fetched to local memory")
+	}
+	if !ce.Flags.Has(pt.OnCXL) {
+		t.Fatal("cold page copied despite clear A bit")
+	}
+	if child.MM.Stats.Faults.Count(kernel.FaultCXLDirect) == 0 {
+		t.Fatal("no direct-CXL mappings under HT")
+	}
+}
+
+func TestHybridTieringUserHot(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	coldVA := rforktest.AddrOf(rforktest.LibBase, 3)
+	if !ck.SetUserHot(coldVA) {
+		t.Fatal("SetUserHot failed")
+	}
+	child := env.restore(t, ck, 1, rfork.Options{Policy: rfork.HybridTiering})
+	if err := child.MM.Access(coldVA, false); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := child.MM.PT.Lookup(coldVA)
+	if e.Flags.Has(pt.OnCXL) {
+		t.Fatal("user-hot page not fetched locally")
+	}
+}
+
+func TestClearABits(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	if ck.HotPages() == 0 {
+		t.Fatal("no hot pages in steady-state checkpoint")
+	}
+	ck.ClearABits()
+	if ck.HotPages() != 0 {
+		t.Fatal("ClearABits left hot pages")
+	}
+	// An attached clone's accesses re-learn the working set: its page
+	// walks set A bits in place on the checkpointed (shared) leaves.
+	// (Dirty prefetch is disabled so the mixed RO/RW leaf stays
+	// attached rather than being broken by the prefetch mappings.)
+	child := env.restore(t, ck, 1, rfork.Options{NoDirtyPrefetch: true})
+	va := rforktest.AddrOf(rforktest.HeapBase, 1)
+	if err := child.MM.Access(va, false); err != nil {
+		t.Fatal(err)
+	}
+	if !ck.PTE(va).Flags.Has(pt.Accessed) {
+		t.Fatal("clone access did not update checkpointed A bit")
+	}
+	if ck.HotPages() == 0 {
+		t.Fatal("hot set not re-learned")
+	}
+}
+
+func TestGlobalStateRestored(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	child := env.restore(t, ck, 1, rfork.Options{})
+	if child.FDs.Len() != parent.FDs.Len() {
+		t.Fatalf("fds = %d, want %d", child.FDs.Len(), parent.FDs.Len())
+	}
+	pf, cf := parent.FDs.All(), child.FDs.All()
+	for i := range pf {
+		if *pf[i] != *cf[i] {
+			t.Fatalf("fd %d mismatch: %+v vs %+v", i, pf[i], cf[i])
+		}
+	}
+	if child.NS.PIDNS != parent.NS.PIDNS {
+		t.Fatal("PID namespace not restored")
+	}
+	if child.Regs != parent.Regs {
+		t.Fatal("registers not restored")
+	}
+}
+
+func TestReleaseReclaims(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	dev := ck // keep name clarity
+	_ = dev
+	child := env.restore(t, ck, 1, rfork.Options{})
+	if ck.Refs() != 2 {
+		t.Fatalf("refs = %d, want 2 (owner + clone)", ck.Refs())
+	}
+	ck.Release() // owner drops; clone keeps it alive
+	if ck.Refs() != 1 {
+		t.Fatalf("refs = %d", ck.Refs())
+	}
+	used := child.OS.Dev.UsedBytes()
+	if used == 0 {
+		t.Fatal("device empty while checkpoint live")
+	}
+	child.OS.Exit(child)
+	if child.OS.Dev.UsedBytes() != 0 {
+		t.Fatalf("device holds %d bytes after last release", child.OS.Dev.UsedBytes())
+	}
+}
+
+func TestRestoreFromReclaimedFails(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	ck.Release()
+	child := env.c.Node(1).NewTask("late")
+	if err := env.mech.Restore(child, ck, rfork.Options{}); err == nil {
+		t.Fatal("restore from reclaimed checkpoint succeeded")
+	}
+}
+
+func TestNaivePTCopyAblation(t *testing.T) {
+	ck, parent, env := checkpointParent(t)
+	snap := rforktest.SnapshotTokens(parent)
+	child := env.restore(t, ck, 1, rfork.Options{NaivePTCopy: true})
+	rforktest.VerifyCloneContent(t, child, snap)
+	// Leaves were copied locally, not attached to CXL objects, yet CoW
+	// semantics must be identical.
+	va := rforktest.AddrOf(rforktest.HeapBase, 0)
+	if err := child.MM.Access(va, true); err != nil {
+		t.Fatal(err)
+	}
+	if child.MM.Stats.Faults.Count(kernel.FaultCoWCXL) != 1 {
+		t.Fatal("naive copy lost CoW semantics")
+	}
+}
+
+func TestSyncHotPrefetchAblation(t *testing.T) {
+	ck, _, env := checkpointParent(t)
+	child := env.restore(t, ck, 1, rfork.Options{Policy: rfork.HybridTiering, SyncHotPrefetch: true})
+	// Hot pages are already local: reading one takes no fault.
+	f0 := child.MM.Stats.Faults.Total() - child.MM.Stats.Faults.Count(kernel.FaultPrefetch)
+	if err := child.MM.Access(rforktest.AddrOf(rforktest.HeapBase, 0), false); err != nil {
+		t.Fatal(err)
+	}
+	f1 := child.MM.Stats.Faults.Total() - child.MM.Stats.Faults.Count(kernel.FaultPrefetch)
+	if f1 != f0 {
+		t.Fatal("hot page faulted despite sync prefetch")
+	}
+}

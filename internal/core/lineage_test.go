@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"testing"
+
+	"cxlfork/internal/core"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/rforktest"
+)
+
+// TestCheckpointOfClone exercises generational lineage: restore a clone,
+// let it diverge, checkpoint the clone (CXL→CXL page copies), and
+// restore a grandchild — which must see the clone's modified state, not
+// the original parent's.
+func TestCheckpointOfClone(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := core.New(c.Dev)
+
+	gen1, err := mech.Checkpoint(parent, "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Node(1).NewTask("clone")
+	if err := mech.Restore(clone, gen1, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// The clone rewrites part of the RO region (diverges from gen1).
+	divergedVA := rforktest.AddrOf(rforktest.HeapBase, 3)
+	if err := clone.MM.Access(divergedVA, true); err != nil {
+		t.Fatal(err)
+	}
+	cloneSnap := rforktest.SnapshotTokens(clone)
+
+	gen2, err := mech.Checkpoint(clone, "gen2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gen2 owns independent device frames: releasing gen1 must not
+	// invalidate it.
+	parentSnap := rforktest.SnapshotTokens(parent)
+	_ = parentSnap
+	gen1.Release()
+	c.Node(1).Exit(clone)
+
+	grand := c.Node(0).NewTask("grandchild")
+	if err := mech.Restore(grand, gen2, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rforktest.VerifyCloneContent(t, grand, cloneSnap)
+
+	// The grandchild sees the clone's divergence, not the parent's
+	// original content.
+	gTok, _ := rforktest.PageToken(grand, divergedVA)
+	pTok, _ := rforktest.PageToken(parent, divergedVA)
+	if gTok == pTok {
+		t.Fatal("grandchild inherited the parent's pre-divergence content")
+	}
+	c.Node(0).Exit(grand)
+	gen2.Release()
+	if c.Dev.UsedBytes() != 0 {
+		t.Fatalf("device retains %d bytes after lineage teardown", c.Dev.UsedBytes())
+	}
+}
+
+// TestForkOfClone checks local fork of a restored clone: the child
+// shares the clone's CXL mappings (read-only, deduplicated) and its
+// local CoW pages.
+func TestForkOfClone(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := core.New(c.Dev)
+	img, err := mech.Checkpoint(parent, "fk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rforktest.SnapshotTokens(parent)
+
+	node1 := c.Node(1)
+	clone := node1.NewTask("clone")
+	if err := mech.Restore(clone, img, rfork.Options{NoDirtyPrefetch: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch everything once so the fork has PTEs to copy.
+	for va := range snap {
+		if err := clone.MM.Access(va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := node1.Mem.UsedPages()
+	child, err := node1.Fork(clone.OS.Task(clone.PID), "grandchild")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node1.Mem.UsedPages() != used {
+		t.Fatal("fork of clone copied pages")
+	}
+	// The forked child reads identical content through shared CXL
+	// mappings.
+	va := rforktest.AddrOf(rforktest.HeapBase, 0)
+	if err := child.MM.Access(va, false); err != nil {
+		t.Fatal(err)
+	}
+	ce, _ := child.MM.PT.Lookup(va)
+	pe, _ := clone.MM.PT.Lookup(va)
+	if !ce.Flags.Has(pt.OnCXL) || ce.PFN != pe.PFN {
+		t.Fatal("forked child does not share the CXL frame")
+	}
+	// And its writes stay private.
+	if err := child.MM.Access(va, true); err != nil {
+		t.Fatal(err)
+	}
+	cTok, _ := rforktest.PageToken(child, va)
+	pTok, _ := rforktest.PageToken(clone, va)
+	if cTok == pTok {
+		t.Fatal("child write leaked into the clone")
+	}
+}

@@ -1,0 +1,281 @@
+// Package criu implements the CRIU-CXL baseline (paper §2.3.1, §6.2):
+// the state-of-practice checkpoint/restore framework, given the benefit
+// of CXL by placing its image files on an in-CXL-memory filesystem
+// shared between nodes (so no network file copies). It still serializes
+// everything — OS state and every memory page — into protobuf-style
+// records, and its restore deserializes the full image and copies all
+// data into local memory. Clean pages of private file mappings are not
+// checkpointed (CRIU's behaviour, §7.1); the child faults them from the
+// page cache lazily.
+package criu
+
+import (
+	"fmt"
+
+	"cxlfork/internal/des"
+	"cxlfork/internal/fsim"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/memsim"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/vma"
+	"cxlfork/internal/wire"
+)
+
+// Image is a CRIU checkpoint: a serialized image file on cxlfs.
+type Image struct {
+	id    string
+	fs    *fsim.CXLFS
+	file  string
+	pages int
+	size  int64
+	refs  int
+}
+
+var _ rfork.Image = (*Image)(nil)
+
+// ID returns the checkpoint ID.
+func (im *Image) ID() string { return im.id }
+
+// Mechanism returns "CRIU-CXL".
+func (im *Image) Mechanism() string { return "CRIU-CXL" }
+
+// CXLBytes returns the image file size on the CXL filesystem.
+func (im *Image) CXLBytes() int64 { return im.size }
+
+// LocalBytes is zero: the image is fully decoupled from the parent node.
+func (im *Image) LocalBytes() int64 { return 0 }
+
+// Pages returns the number of page records in the image.
+func (im *Image) Pages() int { return im.pages }
+
+// Refs returns the reference count.
+func (im *Image) Refs() int { return im.refs }
+
+// Retain adds a reference.
+func (im *Image) Retain() { im.refs++ }
+
+// Release drops a reference; at zero the image file is deleted.
+func (im *Image) Release() {
+	if im.refs <= 0 {
+		panic("criu: Release on dead image")
+	}
+	im.refs--
+	if im.refs == 0 {
+		im.fs.Remove(im.file)
+	}
+}
+
+// Mechanism is the CRIU-CXL rfork.Mechanism.
+type Mechanism struct {
+	// FS is the shared in-CXL-memory filesystem holding image files.
+	FS *fsim.CXLFS
+}
+
+// New returns the CRIU-CXL mechanism writing images to fs.
+func New(fs *fsim.CXLFS) *Mechanism { return &Mechanism{FS: fs} }
+
+// Name returns "CRIU-CXL".
+func (m *Mechanism) Name() string { return "CRIU-CXL" }
+
+// Image message field tags.
+const (
+	fieldVMA    = 1
+	fieldGlobal = 2
+	fieldPage   = 3
+
+	pageFieldVPN   = 1
+	pageFieldToken = 2
+)
+
+// Checkpoint serializes the full process state — OS metadata and every
+// non-clean-file memory page — into an image file on cxlfs.
+func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
+	o := parent.OS
+	p := o.P
+	var cost des.Time
+
+	enc := wire.NewEncoder()
+	vmaCount := 0
+	parent.MM.VMAs.Walk(func(v vma.VMA) {
+		enc.PutBytes(fieldVMA, rfork.EncodeVMA(v))
+		vmaCount++
+		cost += p.CRIURecordEncode
+	})
+	gs := rfork.CaptureGlobalState(parent)
+	enc.PutBytes(fieldGlobal, gs.Encode())
+	cost += des.Time(len(gs.FDs)) * p.CRIURecordEncode
+	cost += p.CRIURecordEncode // task metadata record
+
+	pages := 0
+	parent.MM.PT.Walk(func(va pt.VirtAddr, leaf *pt.Leaf, i int) {
+		e := leaf.PTEs[i]
+		if e.Flags.Has(pt.FileBacked) {
+			return // clean private file pages are re-faulted, not imaged
+		}
+		var src *memsim.Frame
+		if e.Flags.Has(pt.OnCXL) {
+			src = o.Dev.Pool().Frame(int(e.PFN))
+		} else {
+			src = o.Mem.Frame(int(e.PFN))
+		}
+		pg := wire.NewEncoder()
+		pg.PutUint(pageFieldVPN, va.PageNumber())
+		pg.PutUint(pageFieldToken, src.Data)
+		enc.PutMessage(fieldPage, pg)
+		pages++
+		cost += p.CRIUPageSerialize
+	})
+
+	logical := int64(pages)*int64(p.PageSize) + int64(vmaCount+len(gs.FDs)+1)*64
+	file := "criu-" + id + ".img"
+	if err := m.FS.Write(file, enc.Bytes(), logical); err != nil {
+		return nil, err
+	}
+	o.Eng.Advance(cost)
+	return &Image{id: id, fs: m.FS, file: file, pages: pages, size: logical, refs: 1}, nil
+}
+
+// Restore deserializes the image on the child's node, reconstructing
+// every VMA, reopening every descriptor, and copying every imaged page
+// into local memory.
+func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options) error {
+	im, ok := img.(*Image)
+	if !ok {
+		return fmt.Errorf("criu: image %s is %T, not a CRIU image", img.ID(), img)
+	}
+	if im.refs <= 0 {
+		return fmt.Errorf("criu: restore from reclaimed image %s", im.id)
+	}
+	o := child.OS
+	p := o.P
+	blob, err := m.FS.Read(im.file)
+	if err != nil {
+		return err
+	}
+
+	var cost des.Time
+	var gs rfork.GlobalState
+	var haveGS bool
+	type pageRec struct {
+		vpn   uint64
+		token uint64
+	}
+	var pageRecs []pageRec
+
+	d := wire.NewDecoder(blob)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case fieldVMA:
+			b, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			v, err := rfork.DecodeVMA(b)
+			if err != nil {
+				return err
+			}
+			if _, err := child.MM.VMAs.Insert(v); err != nil {
+				return err
+			}
+			cost += p.CRIURecordDecode + p.VMAReconstruct
+		case fieldGlobal:
+			b, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			gs, err = rfork.DecodeGlobalState(b)
+			if err != nil {
+				return err
+			}
+			haveGS = true
+			cost += des.Time(len(gs.FDs)) * p.CRIURecordDecode
+		case fieldPage:
+			b, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			rec, err := decodePage(b)
+			if err != nil {
+				return err
+			}
+			pageRecs = append(pageRecs, pageRec{rec.vpn, rec.token})
+		default:
+			if err := d.Skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	if !haveGS {
+		return fmt.Errorf("criu: image %s has no global state", im.id)
+	}
+
+	// Copy every imaged page into local memory and map it.
+	for _, rec := range pageRecs {
+		va := pt.VirtAddr(rec.vpn << pt.PageShift)
+		v := child.MM.VMAs.Find(va)
+		if v == nil {
+			return fmt.Errorf("criu: page %#x outside any restored VMA", rec.vpn)
+		}
+		f, err := o.Mem.Alloc()
+		if err != nil {
+			return err
+		}
+		f.Data = rec.token
+		flags := pt.Accessed
+		if v.Prot&vma.Write != 0 {
+			flags |= pt.Writable
+		}
+		child.MM.MapFrame(va, f, flags)
+		o.Mem.Put(f) // MapFrame took the mapping reference
+		cost += p.CRIUPageRestore
+	}
+
+	o.Eng.Advance(cost)
+	if err := rfork.RestoreGlobalState(child, gs); err != nil {
+		return err
+	}
+
+	im.Retain()
+	child.MM.OnExit(im.Release)
+	return nil
+}
+
+type pageRecord struct {
+	vpn   uint64
+	token uint64
+}
+
+func decodePage(b []byte) (pageRecord, error) {
+	var rec pageRecord
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return rec, err
+		}
+		switch field {
+		case pageFieldVPN:
+			v, err := d.Uint()
+			if err != nil {
+				return rec, err
+			}
+			rec.vpn = v
+		case pageFieldToken:
+			v, err := d.Uint()
+			if err != nil {
+				return rec, err
+			}
+			rec.token = v
+		default:
+			if err := d.Skip(wt); err != nil {
+				return rec, err
+			}
+		}
+	}
+	return rec, nil
+}

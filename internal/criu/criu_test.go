@@ -1,0 +1,167 @@
+package criu_test
+
+import (
+	"testing"
+
+	"cxlfork/internal/criu"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/rforktest"
+)
+
+func TestCheckpointSkipsCleanFilePages(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := criu.New(c.CXLFS)
+	img, err := mech.Checkpoint(parent, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the anonymous heap is imaged; clean library pages are not.
+	if img.Pages() != rforktest.HeapPages {
+		t.Fatalf("imaged %d pages, want %d (anon only)", img.Pages(), rforktest.HeapPages)
+	}
+	if img.CXLBytes() < int64(img.Pages())*4096 {
+		t.Fatalf("image size %d smaller than page payload", img.CXLBytes())
+	}
+	if c.CXLFS.Files() != 1 {
+		t.Fatal("image file not on cxlfs")
+	}
+}
+
+func TestRestoreCopiesEverythingLocal(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	snap := rforktest.SnapshotTokens(parent)
+	mech := criu.New(c.CXLFS)
+	img, _ := mech.Checkpoint(parent, "c2")
+
+	child := c.Node(1).NewTask("clone")
+	used := c.Node(1).Mem.UsedPages()
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// All imaged pages are local immediately after restore.
+	if got := c.Node(1).Mem.UsedPages() - used; got != rforktest.HeapPages {
+		t.Fatalf("restore allocated %d local pages, want %d", got, rforktest.HeapPages)
+	}
+	if got := child.MM.ResidentCXLPages(); got != 0 {
+		t.Fatalf("CRIU left %d CXL mappings", got)
+	}
+	rforktest.VerifyCloneContent(t, child, snap)
+	// Library pages came back via page-cache faults, not the image.
+	if child.MM.Stats.Faults.Count(kernel.FaultFileMinor) != rforktest.LibPages {
+		t.Fatalf("file minors = %d, want %d",
+			child.MM.Stats.Faults.Count(kernel.FaultFileMinor), rforktest.LibPages)
+	}
+}
+
+func TestImageDecoupledFromParent(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	snap := rforktest.SnapshotTokens(parent)
+	mech := criu.New(c.CXLFS)
+	img, _ := mech.Checkpoint(parent, "c3")
+	c.Node(0).Exit(parent) // CRIU images survive the parent
+
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rforktest.VerifyCloneContent(t, child, snap)
+}
+
+func TestGlobalState(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	parent.Regs.SP = 0x7ffffff000
+	mech := criu.New(c.CXLFS)
+	img, _ := mech.Checkpoint(parent, "c4")
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if child.Regs.SP != 0x7ffffff000 {
+		t.Fatal("registers not restored")
+	}
+	if child.FDs.Len() != parent.FDs.Len() {
+		t.Fatal("descriptors not restored")
+	}
+	if child.NS.PIDNS != parent.NS.PIDNS {
+		t.Fatal("pid namespace not restored")
+	}
+}
+
+func TestWritableMappingsRestoredWritable(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := criu.New(c.CXLFS)
+	img, _ := mech.Checkpoint(parent, "c5")
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := child.MM.PT.Lookup(rforktest.HeapBase)
+	if !e.Present() || !e.Flags.Has(pt.Writable) {
+		t.Fatalf("restored heap PTE = %+v", e)
+	}
+	// A store is fault-free (private copy, fully materialized).
+	f0 := child.MM.Stats.Faults.Total()
+	if err := child.MM.Access(rforktest.HeapBase, true); err != nil {
+		t.Fatal(err)
+	}
+	if child.MM.Stats.Faults.Total() != f0 {
+		t.Fatal("store faulted on restored page")
+	}
+}
+
+func TestReleaseRemovesImageFile(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := criu.New(c.CXLFS)
+	img, _ := mech.Checkpoint(parent, "c6")
+	devUsed := c.Dev.UsedBytes()
+	if devUsed == 0 {
+		t.Fatal("image occupies no device space")
+	}
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	img.Release()
+	if c.CXLFS.Files() != 1 {
+		t.Fatal("file removed while clone holds a reference")
+	}
+	c.Node(1).Exit(child)
+	if c.CXLFS.Files() != 0 || c.Dev.UsedBytes() != 0 {
+		t.Fatalf("image not reclaimed: files=%d bytes=%d", c.CXLFS.Files(), c.Dev.UsedBytes())
+	}
+}
+
+func TestTwoClonesShareNothing(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := criu.New(c.CXLFS)
+	img, _ := mech.Checkpoint(parent, "c7")
+
+	c1 := c.Node(0).NewTask("c1")
+	c2 := c.Node(1).NewTask("c2")
+	if err := mech.Restore(c1, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mech.Restore(c2, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := c1.MM.PT.Lookup(rforktest.HeapBase)
+	e2, _ := c2.MM.PT.Lookup(rforktest.HeapBase)
+	// Same content, distinct frames: no deduplication with CRIU.
+	t1, _ := rforktest.PageToken(c1, rforktest.HeapBase)
+	t2, _ := rforktest.PageToken(c2, rforktest.HeapBase)
+	if t1 != t2 {
+		t.Fatal("content mismatch")
+	}
+	if e1.Flags.Has(pt.OnCXL) || e2.Flags.Has(pt.OnCXL) {
+		t.Fatal("CRIU mapped CXL frames")
+	}
+}

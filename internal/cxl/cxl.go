@@ -1,0 +1,196 @@
+// Package cxl models the shared CXL memory device and fabric.
+//
+// The device exposes two things to the rest of the system:
+//
+//   - a shared physical frame pool (memsim.Pool of kind CXL) holding
+//     checkpointed process data pages, and
+//   - per-checkpoint Arenas holding checkpointed OS structures (page
+//     table nodes, VMA records, serialized global state), addressed by
+//     machine-independent Offsets rather than pointers.
+//
+// The Offset indirection is the heart of CXLfork's "rebase" step
+// (paper §4.1): after copying OS structures into CXL memory, every
+// internal pointer is rewritten into an offset on the device, so that
+// any OS instance on the fabric can map the arena at a different
+// virtual/physical base and still dereference the structures. In this
+// simulation, the only way to follow a rebased reference is through
+// Arena.Get, which makes an un-rebased (dangling) pointer a loud test
+// failure instead of silent corruption.
+package cxl
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlfork/internal/memsim"
+	"cxlfork/internal/params"
+)
+
+// Offset is a machine-independent reference into a checkpoint arena.
+// The zero Offset is nil.
+type Offset uint64
+
+// Nil is the null arena offset.
+const Nil Offset = 0
+
+// ErrDeviceFull is returned when the device cannot hold more data.
+var ErrDeviceFull = errors.New("cxl: device full")
+
+// Device is one CXL memory device shared by all nodes on the fabric.
+type Device struct {
+	p    params.Params
+	pool *memsim.Pool
+
+	arenas    map[string]*Arena
+	metaBytes int64
+
+	// Fabric traffic counters (bytes), for bandwidth analyses.
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// NewDevice creates a device with capacity p.CXLBytes.
+func NewDevice(p params.Params) *Device {
+	return &Device{
+		p:      p,
+		pool:   memsim.NewPool("cxl", memsim.CXL, p.CXLBytes, p.PageSize),
+		arenas: make(map[string]*Arena),
+	}
+}
+
+// Pool returns the device's shared frame pool.
+func (d *Device) Pool() *memsim.Pool { return d.pool }
+
+// UsedBytes returns total device occupancy: data frames plus arena
+// metadata.
+func (d *Device) UsedBytes() int64 { return d.pool.UsedBytes() + d.metaBytes }
+
+// CapacityBytes returns the device capacity.
+func (d *Device) CapacityBytes() int64 { return d.p.CXLBytes }
+
+// Utilization returns occupancy in [0,1].
+func (d *Device) Utilization() float64 {
+	return float64(d.UsedBytes()) / float64(d.CapacityBytes())
+}
+
+// MetaBytes returns bytes consumed by arena metadata (checkpointed OS
+// structures, as opposed to data pages).
+func (d *Device) MetaBytes() int64 { return d.metaBytes }
+
+// NewArena creates a named checkpoint arena on the device. Names must be
+// unique among live arenas (checkpoint IDs provide this).
+func (d *Device) NewArena(name string) (*Arena, error) {
+	if _, ok := d.arenas[name]; ok {
+		return nil, fmt.Errorf("cxl: arena %q already exists", name)
+	}
+	a := &Arena{dev: d, name: name, objs: make([]arenaObj, 1)} // objs[0] = nil sentinel
+	d.arenas[name] = a
+	return a, nil
+}
+
+// Arena returns the named arena, or nil.
+func (d *Device) Arena(name string) *Arena { return d.arenas[name] }
+
+// Arenas returns the number of live arenas.
+func (d *Device) Arenas() int { return len(d.arenas) }
+
+// charge reserves metadata bytes on the device.
+func (d *Device) charge(n int64) error {
+	if d.UsedBytes()+n > d.CapacityBytes() {
+		return fmt.Errorf("%w: need %d more bytes, used %d of %d",
+			ErrDeviceFull, n, d.UsedBytes(), d.CapacityBytes())
+	}
+	d.metaBytes += n
+	return nil
+}
+
+type arenaObj struct {
+	v    any
+	size int64
+}
+
+// Arena is an offset-addressed allocation region on the CXL device
+// holding one checkpoint's OS structures. It is append-only until
+// released as a whole (checkpoints are immutable; reclaim drops the
+// entire checkpoint).
+type Arena struct {
+	dev    *Device
+	name   string
+	objs   []arenaObj
+	bytes  int64
+	closed bool
+}
+
+// Name returns the arena name (the checkpoint ID).
+func (a *Arena) Name() string { return a.name }
+
+// Bytes returns the metadata bytes held by this arena.
+func (a *Arena) Bytes() int64 { return a.bytes }
+
+// Len returns the number of allocated objects.
+func (a *Arena) Len() int { return len(a.objs) - 1 }
+
+// Alloc stores obj in the arena, charging size bytes against the device,
+// and returns its offset.
+func (a *Arena) Alloc(obj any, size int64) (Offset, error) {
+	if a.closed {
+		return Nil, fmt.Errorf("cxl: arena %q is released", a.name)
+	}
+	if size < 0 {
+		panic("cxl: negative object size")
+	}
+	if err := a.dev.charge(size); err != nil {
+		return Nil, err
+	}
+	a.objs = append(a.objs, arenaObj{v: obj, size: size})
+	a.bytes += size
+	return Offset(len(a.objs) - 1), nil
+}
+
+// MustAlloc is Alloc for contexts where device exhaustion is a setup bug.
+func (a *Arena) MustAlloc(obj any, size int64) Offset {
+	off, err := a.Alloc(obj, size)
+	if err != nil {
+		panic(err)
+	}
+	return off
+}
+
+// Get dereferences an offset. It panics on Nil or out-of-range offsets:
+// those are rebase bugs.
+func (a *Arena) Get(off Offset) any {
+	if a.closed {
+		panic(fmt.Sprintf("cxl: Get on released arena %q", a.name))
+	}
+	if off == Nil || int(off) >= len(a.objs) {
+		panic(fmt.Sprintf("cxl: invalid offset %d in arena %q (%d objects)", off, a.name, a.Len()))
+	}
+	return a.objs[off].v
+}
+
+// Release frees the arena's metadata accounting and unregisters it from
+// the device. The caller is responsible for freeing any data frames the
+// checkpoint references.
+func (a *Arena) Release() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	a.dev.metaBytes -= a.bytes
+	delete(a.dev.arenas, a.name)
+	a.objs = nil
+}
+
+// Closed reports whether the arena has been released.
+func (a *Arena) Closed() bool { return a.closed }
+
+// Get is the typed dereference helper: Get[T](arena, off) panics if the
+// object at off is not a T, which indicates a corrupted or mis-rebased
+// reference.
+func Get[T any](a *Arena, off Offset) T {
+	v, ok := a.Get(off).(T)
+	if !ok {
+		panic(fmt.Sprintf("cxl: offset %d in arena %q holds %T, not %T", off, a.name, a.Get(off), v))
+	}
+	return v
+}

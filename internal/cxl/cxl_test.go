@@ -1,0 +1,170 @@
+package cxl
+
+import (
+	"errors"
+	"testing"
+
+	"cxlfork/internal/params"
+)
+
+func dev(t *testing.T) *Device {
+	t.Helper()
+	p := params.Default()
+	p.CXLBytes = 1 << 20 // 256 pages
+	return NewDevice(p)
+}
+
+func TestDeviceGeometry(t *testing.T) {
+	d := dev(t)
+	if d.CapacityBytes() != 1<<20 {
+		t.Fatalf("capacity = %d", d.CapacityBytes())
+	}
+	if d.Pool().CapacityPages() != 256 {
+		t.Fatalf("pool pages = %d", d.Pool().CapacityPages())
+	}
+	if d.UsedBytes() != 0 {
+		t.Fatalf("fresh device used = %d", d.UsedBytes())
+	}
+}
+
+func TestArenaAllocGet(t *testing.T) {
+	d := dev(t)
+	a, err := d.NewArena("ck1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := a.MustAlloc("hello", 128)
+	if off == Nil {
+		t.Fatal("nil offset")
+	}
+	if got := Get[string](a, off); got != "hello" {
+		t.Fatalf("Get = %q", got)
+	}
+	if d.MetaBytes() != 128 {
+		t.Fatalf("meta bytes = %d", d.MetaBytes())
+	}
+}
+
+func TestArenaUniqueNames(t *testing.T) {
+	d := dev(t)
+	if _, err := d.NewArena("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewArena("x"); err == nil {
+		t.Fatal("duplicate arena name accepted")
+	}
+}
+
+func TestArenaRelease(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("ck")
+	a.MustAlloc(1, 1000)
+	a.Release()
+	if d.MetaBytes() != 0 {
+		t.Fatalf("meta bytes after release = %d", d.MetaBytes())
+	}
+	if d.Arena("ck") != nil {
+		t.Fatal("released arena still registered")
+	}
+	// Name becomes reusable.
+	if _, err := d.NewArena("ck"); err != nil {
+		t.Fatalf("name not reusable: %v", err)
+	}
+	// Releasing twice is a no-op.
+	a.Release()
+}
+
+func TestArenaCapacity(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("big")
+	if _, err := a.Alloc(0, d.CapacityBytes()+1); !errors.Is(err, ErrDeviceFull) {
+		t.Fatalf("err = %v, want ErrDeviceFull", err)
+	}
+}
+
+func TestArenaCapacitySharedWithPool(t *testing.T) {
+	d := dev(t)
+	// Fill the frame pool completely.
+	for d.Pool().FreePages() > 0 {
+		d.Pool().MustAlloc()
+	}
+	a, _ := d.NewArena("meta")
+	if _, err := a.Alloc(0, 10); !errors.Is(err, ErrDeviceFull) {
+		t.Fatalf("arena alloc on full device: err = %v", err)
+	}
+}
+
+func TestGetInvalidOffsetPanics(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("ck")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on nil offset")
+		}
+	}()
+	a.Get(Nil)
+}
+
+func TestGetWrongTypePanics(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("ck")
+	off := a.MustAlloc("str", 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	Get[int](a, off)
+}
+
+func TestGetAfterReleasePanics(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("ck")
+	off := a.MustAlloc("x", 8)
+	a.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on use-after-release")
+		}
+	}()
+	a.Get(off)
+}
+
+func TestAllocAfterReleaseFails(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("ck")
+	a.Release()
+	if _, err := a.Alloc(1, 1); err == nil {
+		t.Fatal("alloc on released arena succeeded")
+	}
+}
+
+func TestUtilizationCombinesPoolAndMeta(t *testing.T) {
+	d := dev(t)
+	d.Pool().MustAlloc() // 4096 bytes
+	a, _ := d.NewArena("ck")
+	a.MustAlloc(0, 4096)
+	if got := d.UsedBytes(); got != 8192 {
+		t.Fatalf("UsedBytes = %d, want 8192", got)
+	}
+	if d.Utilization() <= 0 {
+		t.Fatal("utilization not positive")
+	}
+}
+
+func TestOffsetsStableAcrossObjects(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("ck")
+	offs := make([]Offset, 50)
+	for i := range offs {
+		offs[i] = a.MustAlloc(i, 8)
+	}
+	for i, off := range offs {
+		if got := Get[int](a, off); got != i {
+			t.Fatalf("object %d via offset %d = %d", i, off, got)
+		}
+	}
+	if a.Len() != 50 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}

@@ -1,0 +1,33 @@
+package des
+
+import "testing"
+
+func BenchmarkAdvance(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.Advance(100)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkResourceExec(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, 8)
+	for i := 0; i < b.N; i++ {
+		r.Exec(100, nil)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

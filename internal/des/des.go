@@ -1,0 +1,260 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// Every latency in this repository is accounted in virtual nanoseconds on
+// an Engine. Simple sequential experiments advance the clock directly with
+// Engine.Advance; concurrent scenarios (the CXLporter autoscaler) schedule
+// events on the engine's heap and run them in timestamp order. Ties are
+// broken by insertion order, so a simulation with a fixed RNG seed is
+// fully reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, mirroring time.Duration style but for virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// String renders a Time with an adaptive unit, for experiment output.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a virtual time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts a virtual time to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // insertion order; tie-breaker for determinism
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded virtual clock plus event queue.
+// It is not safe for concurrent use; simulations run on one goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Advance moves the clock forward by d. It panics on negative d, which
+// always indicates an accounting bug.
+func (e *Engine) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative advance %d", d))
+	}
+	e.now += d
+}
+
+// At schedules fn to run at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("des: schedule in the past: %v < now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Pending reports the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Step runs the single earliest event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue. Events may schedule further events.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then sets the
+// clock to the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		var next *event
+		for len(e.events) > 0 && e.events[0].dead {
+			heap.Pop(&e.events)
+		}
+		if len(e.events) == 0 {
+			break
+		}
+		next = e.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Resource is a FIFO server pool with a fixed number of slots: the model
+// for CPU cores on a node. Work items queue when all slots are busy.
+type Resource struct {
+	eng   *Engine
+	slots int
+	busy  int
+	queue []func(start Time)
+}
+
+// NewResource returns a resource with n slots on engine e.
+func NewResource(e *Engine, n int) *Resource {
+	if n <= 0 {
+		panic("des: resource needs at least one slot")
+	}
+	return &Resource{eng: e, slots: n}
+}
+
+// Busy reports the number of occupied slots.
+func (r *Resource) Busy() int { return r.busy }
+
+// QueueLen reports the number of waiting work items.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Acquire requests a slot. fn runs (is called) at the virtual time the
+// slot is granted, receiving that time. The caller must later call
+// Release exactly once per granted slot.
+func (r *Resource) Acquire(fn func(start Time)) {
+	if r.busy < r.slots {
+		r.busy++
+		fn(r.eng.Now())
+		return
+	}
+	r.queue = append(r.queue, fn)
+}
+
+// Release frees a slot, immediately granting it to the head of the queue
+// if any.
+func (r *Resource) Release() {
+	if r.busy <= 0 {
+		panic("des: release without acquire")
+	}
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+		next(r.eng.Now())
+		return
+	}
+	r.busy--
+}
+
+// Exec is the common acquire→advance→release pattern for one-shot jobs:
+// it occupies a slot for dur virtual nanoseconds starting as soon as a
+// slot frees, then calls done with the completion time.
+func (r *Resource) Exec(dur Time, done func(end Time)) {
+	r.Acquire(func(start Time) {
+		r.eng.At(start+dur, func() {
+			r.Release()
+			if done != nil {
+				done(r.eng.Now())
+			}
+		})
+	})
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"cxlfork/internal/faas"
+	"cxlfork/internal/params"
+)
+
+// Fig1Result is the footprint breakdown of Fig. 1, measured with the
+// paper's methodology (invoke with varying inputs, classify pages by
+// observed access pattern).
+type Fig1Result struct {
+	Breakdowns  []faas.Breakdown
+	Invocations int
+}
+
+// Fig1 classifies every function's footprint. The paper uses 128
+// invocations; invocations<=0 selects that default.
+func Fig1(p params.Params, invocations int) (*Fig1Result, error) {
+	if invocations <= 0 {
+		invocations = 128
+	}
+	res := &Fig1Result{Invocations: invocations}
+	for _, spec := range faas.Suite() {
+		c, err := NewEnv(p, spec)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(1))
+		b, err := faas.ClassifyFootprint(c.Node(0), spec, invocations, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Breakdowns = append(res.Breakdowns, b)
+	}
+	return res, nil
+}
+
+// Render prints the per-function class fractions and their averages.
+func (r *Fig1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 1 — footprint breakdown over %d invocations (paper avg: Init 72.2%%, Read-only 23%%, Read/Write 4.8%%)\n", r.Invocations)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Function\tInit\tRead-only\tRead/Write\tFootprint(MB)")
+	var init, ro, rw float64
+	for _, b := range r.Breakdowns {
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f%%\t%.1f%%\t%d\n",
+			b.Name, 100*b.InitFrac, 100*b.ROFrac, 100*b.RWFrac,
+			int64(b.TotalPages)*4096>>20)
+		init += b.InitFrac
+		ro += b.ROFrac
+		rw += b.RWFrac
+	}
+	n := float64(len(r.Breakdowns))
+	fmt.Fprintf(tw, "Average\t%.1f%%\t%.1f%%\t%.1f%%\t\n", 100*init/n, 100*ro/n, 100*rw/n)
+	tw.Flush()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cxlfork/internal/faas"
+	"cxlfork/internal/params"
+)
+
+// Fig3cResult is the motivation experiment: CRIU-CXL and Mitosis-CXL
+// forking a BERT instance, versus local fork (Fig. 3c).
+type Fig3cResult struct {
+	Bert *FnMeasurement
+}
+
+// Fig3c measures the BERT motivation comparison.
+func Fig3c(p params.Params) (*Fig3cResult, error) {
+	spec, _ := faas.ByName("Bert")
+	fm, err := MeasureFunction(p, spec, []Scenario{ScenLocalFork, ScenCRIU, ScenMitosis})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3cResult{Bert: fm}, nil
+}
+
+// Render prints the latency and memory comparison.
+func (r *Fig3cResult) Render(w io.Writer) {
+	lf := r.Bert.ByScen[ScenLocalFork]
+	cr := r.Bert.ByScen[ScenCRIU]
+	mi := r.Bert.ByScen[ScenMitosis]
+	fmt.Fprintln(w, "Figure 3c — remote-fork motivation on BERT (state already checkpointed)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Mechanism\tRestore\tTotal\tvs LocalFork\tLocal memory\tvs LocalFork")
+	for _, m := range []Measure{lf, cr, mi} {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2fx\t%dMB\t%.0fx\n",
+			m.Scenario, compact(m.Restore), compact(m.E2E),
+			float64(m.E2E)/float64(lf.E2E),
+			int64(m.LocalPages)*4096>>20,
+			float64(m.LocalPages)/float64(lf.LocalPages))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "Paper: CRIU restore alone 2.7x LocalFork total, 42x memory; Mitosis 2.6x total, 24x memory.\n")
+	fmt.Fprintf(w, "Here: CRIU restore/LocalFork-total = %.2fx; CRIU mem %.0fx; Mitosis total %.2fx, mem %.0fx.\n",
+		float64(cr.Restore)/float64(lf.E2E),
+		float64(cr.LocalPages)/float64(lf.LocalPages),
+		float64(mi.E2E)/float64(lf.E2E),
+		float64(mi.LocalPages)/float64(lf.LocalPages))
+}

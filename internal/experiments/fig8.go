@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cxlfork/internal/faas"
+	"cxlfork/internal/params"
+)
+
+// Fig8Result holds the tiering-policy comparison: cold execution time
+// (Fig. 8a), warm execution time (Fig. 8b), and local memory (Fig. 8c)
+// for Migrate-on-Write, Migrate-on-Access, and Hybrid Tiering.
+type Fig8Result struct {
+	Measurements []*FnMeasurement
+}
+
+// tieringScenarios are the Fig. 8 bars.
+var tieringScenarios = []Scenario{ScenCXLfork, ScenCXLforkMoA, ScenCXLforkHT}
+
+// Fig8 runs the tiering comparison across the function suite.
+func Fig8(p params.Params) (*Fig8Result, error) {
+	ms, err := MeasureAll(p, faas.Suite(), tieringScenarios)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Measurements: ms}, nil
+}
+
+// Fig8Summary holds the averages §7.1 reports for MoA relative to MoW.
+type Fig8Summary struct {
+	MoAWarmSpeedup float64 // "reduces warm execution time by 11%"
+	MoAColdPenalty float64 // "penalizes cold execution time by 14%"
+	MoAMemGrowth   float64 // "increases the child's memory footprint by 250%"
+}
+
+// Summary computes the MoA-vs-MoW averages.
+func (r *Fig8Result) Summary() Fig8Summary {
+	var warm, cold, mem []float64
+	for _, fm := range r.Measurements {
+		mow, ok1 := fm.ByScen[ScenCXLfork]
+		moa, ok2 := fm.ByScen[ScenCXLforkMoA]
+		if !ok1 || !ok2 {
+			continue
+		}
+		warm = append(warm, 1-float64(moa.WarmSteady)/float64(mow.WarmSteady))
+		cold = append(cold, float64(moa.E2E)/float64(mow.E2E)-1)
+		if mow.LocalPages > 0 {
+			mem = append(mem, float64(moa.LocalPages)/float64(mow.LocalPages)-1)
+		}
+	}
+	return Fig8Summary{
+		MoAWarmSpeedup: mean(warm),
+		MoAColdPenalty: mean(cold),
+		MoAMemGrowth:   mean(mem),
+	}
+}
+
+// Render prints the three panels.
+func (r *Fig8Result) Render(w io.Writer) {
+	panels := []struct {
+		title string
+		cell  func(m Measure) string
+	}{
+		{"Figure 8a — cold execution time", func(m Measure) string { return compact(m.E2E) }},
+		{"Figure 8b — warm execution time", func(m Measure) string { return compact(m.WarmSteady) }},
+		{"Figure 8c — local memory (MB)", func(m Measure) string {
+			return fmt.Sprintf("%d", int64(m.LocalPages)*4096>>20)
+		}},
+	}
+	for i, p := range panels {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, p.title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Function\tMoW\tMoA\tHT")
+		for _, fm := range r.Measurements {
+			fmt.Fprint(tw, fm.Spec.Name)
+			for _, sc := range tieringScenarios {
+				m, ok := fm.ByScen[sc]
+				if !ok {
+					fmt.Fprint(tw, "\t-")
+					continue
+				}
+				fmt.Fprintf(tw, "\t%s", p.cell(m))
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+	s := r.Summary()
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "MoA vs MoW averages: warm %+.0f%% (paper -11%%), cold %+.0f%% (paper +14%%), memory %+.0f%% (paper +250%%)\n",
+		-100*s.MoAWarmSpeedup, 100*s.MoAColdPenalty, 100*s.MoAMemGrowth)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/params"
+	"cxlfork/internal/workflow"
+)
+
+// WorkflowRow is one payload-size sample of the workflow transport
+// comparison.
+type WorkflowRow struct {
+	PayloadMB int64
+	ByValue   workflow.Result
+	ByRef     workflow.Result
+}
+
+// WorkflowResult is the §8 FaaS-workflow extension experiment:
+// inter-stage payload passing by value vs by CXL reference.
+type WorkflowResult struct {
+	Stages int
+	Rows   []WorkflowRow
+}
+
+// Workflow sweeps payload sizes through a fixed-length chain.
+func Workflow(p params.Params, stages int, payloadMBs []int64) (*WorkflowResult, error) {
+	if stages < 2 {
+		stages = 4
+	}
+	if len(payloadMBs) == 0 {
+		payloadMBs = []int64{1, 4, 16, 64}
+	}
+	mk := func() *cluster.Cluster { return cluster.New(p, 2) }
+	res := &WorkflowResult{Stages: stages}
+	for _, mb := range payloadMBs {
+		pages := int(mb << 20 / int64(p.PageSize))
+		bv, br, err := workflow.Compare(mk, stages, pages)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, WorkflowRow{PayloadMB: mb, ByValue: bv, ByRef: br})
+	}
+	return res, nil
+}
+
+// Render prints the transport comparison.
+func (r *WorkflowResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "FaaS workflow communication — %d-stage chain, payload per hop (§8 extension)\n", r.Stages)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Payload\tby-value\tby-reference\tspeedup\tcopied(MB)\tby-ref copied")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%dMB\t%s\t%s\t%.2fx\t%d\t%d\n",
+			row.PayloadMB, compact(row.ByValue.Latency), compact(row.ByRef.Latency),
+			float64(row.ByValue.Latency)/float64(row.ByRef.Latency),
+			int64(row.ByValue.LocalPagesCopied)*4096>>20,
+			int64(row.ByRef.LocalPagesCopied)*4096>>20)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,223 @@
+package faas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/params"
+)
+
+// smallSpec is a fast synthetic function for unit tests.
+func smallSpec() Spec {
+	return Spec{
+		Name: "Tiny", FootprintBytes: 8 << 20, LibBytes: 3 << 20,
+		InitFrac: 0.6, ROFrac: 0.3, RWFrac: 0.1,
+		InitComputeNs: 1e6, WarmComputeNs: 1e5,
+		ROSweeps: 2, RepeatsPerPage: 1, InitTouchFrac: 0.05,
+		FDCount: 6, LibVMAs: 12,
+	}
+}
+
+func testCluster(t testing.TB, specs ...Spec) *cluster.Cluster {
+	t.Helper()
+	p := params.Default()
+	p.NodeDRAMBytes = 2 << 30
+	p.CXLBytes = 2 << 30
+	p.LLCBytes = 4 << 20
+	c := cluster.New(p, 2)
+	for _, s := range specs {
+		RegisterFiles(c.FS, p, s)
+		for _, n := range c.Nodes {
+			if err := WarmLibraries(n, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+func TestSuiteMatchesTable1(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d functions, want 10", len(suite))
+	}
+	want := map[string]int64{
+		"Float": 24 << 20, "Linpack": 33 << 20, "Json": 24 << 20,
+		"Pyaes": 24 << 20, "Chameleon": 27 << 20, "HTML": 256 << 20,
+		"Cnn": 265 << 20, "Rnn": 190 << 20, "BFS": 125 << 20, "Bert": 630 << 20,
+	}
+	for _, s := range suite {
+		if want[s.Name] != s.FootprintBytes {
+			t.Errorf("%s footprint = %d, want %d", s.Name, s.FootprintBytes, want[s.Name])
+		}
+		if got := s.InitFrac + s.ROFrac + s.RWFrac; math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s class fractions sum to %v", s.Name, got)
+		}
+		if s.LibBytes >= s.FootprintBytes {
+			t.Errorf("%s libraries exceed footprint", s.Name)
+		}
+	}
+}
+
+func TestSuiteAveragesMatchFig1(t *testing.T) {
+	// Fig. 1: Init/RO/RW average 72.2% / 23% / 4.8%.
+	var init, ro, rw float64
+	suite := Suite()
+	for _, s := range suite {
+		init += s.InitFrac
+		ro += s.ROFrac
+		rw += s.RWFrac
+	}
+	n := float64(len(suite))
+	if got := init / n; math.Abs(got-0.722) > 0.02 {
+		t.Errorf("mean InitFrac = %.3f, want ≈0.722", got)
+	}
+	if got := ro / n; math.Abs(got-0.23) > 0.02 {
+		t.Errorf("mean ROFrac = %.3f, want ≈0.23", got)
+	}
+	if got := rw / n; math.Abs(got-0.048) > 0.01 {
+		t.Errorf("mean RWFrac = %.3f, want ≈0.048", got)
+	}
+}
+
+func TestOnlyBFSAndBertExceedLLC(t *testing.T) {
+	p := params.Default()
+	for _, s := range Suite() {
+		roBytes := int64(float64(s.FootprintBytes) * s.ROFrac)
+		exceeds := roBytes > p.LLCBytes
+		wantExceeds := s.Name == "BFS" || s.Name == "Bert"
+		if exceeds != wantExceeds {
+			t.Errorf("%s RO set %d MB vs LLC: exceeds=%v, want %v",
+				s.Name, roBytes>>20, exceeds, wantExceeds)
+		}
+	}
+}
+
+func TestComputeLayout(t *testing.T) {
+	p := params.Default()
+	s := smallSpec()
+	l := ComputeLayout(p, s)
+	if got, want := l.TotalPages(), p.Pages(s.FootprintBytes); got != want {
+		t.Fatalf("total pages = %d, want %d", got, want)
+	}
+	if l.LibPages != p.Pages(s.LibBytes) {
+		t.Fatalf("lib pages = %d", l.LibPages)
+	}
+	if l.RWPages <= 0 || l.ROPages <= 0 || l.InitAnonPages <= 0 {
+		t.Fatalf("degenerate layout %+v", l)
+	}
+}
+
+func TestColdInitPopulatesFootprint(t *testing.T) {
+	c := testCluster(t, smallSpec())
+	in, err := NewInstance(c.Node(0), smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ColdInit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := in.Task.MM.PT.CountPresent(), in.L.TotalPages(); got != want {
+		t.Fatalf("resident pages = %d, want %d", got, want)
+	}
+	// VMA count: libraries + three anon regions.
+	if got := in.Task.MM.VMAs.Count(); got != 12+3 {
+		t.Fatalf("VMAs = %d, want 15", got)
+	}
+	if in.Task.FDs.Len() != smallSpec().FDCount {
+		t.Fatalf("fds = %d", in.Task.FDs.Len())
+	}
+}
+
+func TestInvokeTouchesClasses(t *testing.T) {
+	c := testCluster(t, smallSpec())
+	in, _ := NewInstance(c.Node(0), smallSpec())
+	if err := in.ColdInit(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	in.Task.MM.PT.ClearABits()
+	d, err := in.Invoke(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= in.Spec.WarmComputeNs {
+		t.Fatalf("invocation duration %v not above pure compute", d)
+	}
+	if in.Task.Invocations != 1 {
+		t.Fatal("invocation not counted")
+	}
+}
+
+func TestWarmupMemoizes(t *testing.T) {
+	c := testCluster(t, smallSpec())
+	in, _ := NewInstance(c.Node(0), smallSpec())
+	in.ColdInit()
+	rng := rand.New(rand.NewSource(1))
+	if err := in.Warmup(16, rng); err != nil {
+		t.Fatal(err)
+	}
+	if in.Task.Invocations != 16 {
+		t.Fatalf("invocations = %d", in.Task.Invocations)
+	}
+	if in.SteadyWarm() == 0 {
+		t.Fatal("steady-state duration not memoized")
+	}
+}
+
+func TestWarmFasterThanCold(t *testing.T) {
+	c := testCluster(t, smallSpec())
+	in, _ := NewInstance(c.Node(0), smallSpec())
+	eng := c.Eng
+	t0 := eng.Now()
+	in.ColdInit()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := in.Invoke(rng); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Now() - t0
+	warm, err := in.Invoke(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm*5 > cold {
+		t.Fatalf("warm %v not ≪ cold %v", warm, cold)
+	}
+}
+
+func TestClassifyFootprintMatchesSpec(t *testing.T) {
+	c := testCluster(t, smallSpec())
+	rng := rand.New(rand.NewSource(7))
+	b, err := ClassifyFootprint(c.Node(0), smallSpec(), 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	if math.Abs(b.InitFrac-s.InitFrac) > 0.08 {
+		t.Errorf("measured InitFrac %.3f, spec %.3f", b.InitFrac, s.InitFrac)
+	}
+	if math.Abs(b.ROFrac-s.ROFrac) > 0.08 {
+		t.Errorf("measured ROFrac %.3f, spec %.3f", b.ROFrac, s.ROFrac)
+	}
+	if math.Abs(b.RWFrac-s.RWFrac) > 0.05 {
+		t.Errorf("measured RWFrac %.3f, spec %.3f", b.RWFrac, s.RWFrac)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Bert"); !ok {
+		t.Fatal("Bert not found")
+	}
+	if _, ok := ByName("Nope"); ok {
+		t.Fatal("phantom function found")
+	}
+}
+
+func TestLibPathsRegistered(t *testing.T) {
+	c := testCluster(t, smallSpec())
+	if _, err := c.FS.Lookup(LibPath(smallSpec(), 0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package kernel
+
+import (
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/fsim"
+	"cxlfork/internal/params"
+)
+
+func testParams() params.Params {
+	p := params.Default()
+	p.NodeDRAMBytes = 2 << 30
+	p.CXLBytes = 1 << 30
+	return p
+}
+
+func newEngine() *des.Engine                { return des.NewEngine() }
+func newDevice(p params.Params) *cxl.Device { return cxl.NewDevice(p) }
+func newFS() *fsim.FS                       { return fsim.NewFS() }

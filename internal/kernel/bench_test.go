@@ -1,0 +1,60 @@
+package kernel
+
+import (
+	"testing"
+
+	"cxlfork/internal/pt"
+	"cxlfork/internal/vma"
+)
+
+func benchNode(b *testing.B) *OS {
+	b.Helper()
+	p := testParams()
+	return NewOS("bench", p, newEngine(), newDevice(p), newFS(), p.NodeDRAMBytes)
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	o := benchNode(b)
+	task := o.NewTask("t")
+	task.MM.Mmap(vma.VMA{Start: 0x10000, End: 0x11000, Prot: vma.Read | vma.Write, Kind: vma.Anon})
+	if err := task.MM.Access(0x10000, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := task.MM.Access(0x10000, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnonFault(b *testing.B) {
+	o := benchNode(b)
+	task := o.NewTask("t")
+	span := pt.VirtAddr(1 << 30)
+	task.MM.Mmap(vma.VMA{Start: 0x10000000, End: 0x10000000 + span, Prot: vma.Read | vma.Write, Kind: vma.Anon})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := pt.VirtAddr(0x10000000 + (i%200000)<<pt.PageShift)
+		if err := task.MM.Access(va, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFork(b *testing.B) {
+	o := benchNode(b)
+	parent := o.NewTask("p")
+	parent.MM.Mmap(vma.VMA{Start: 0x10000000, End: 0x10000000 + 1024<<pt.PageShift, Prot: vma.Read | vma.Write, Kind: vma.Anon})
+	for i := 0; i < 1024; i++ {
+		parent.MM.Access(pt.VirtAddr(0x10000000+i<<pt.PageShift), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, err := o.Fork(parent, "c")
+		if err != nil {
+			b.Fatal(err)
+		}
+		o.Exit(child)
+	}
+}

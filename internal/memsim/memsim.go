@@ -1,0 +1,214 @@
+// Package memsim models physical memory: fixed-size page frames grouped
+// into pools (one local DRAM pool per node, one shared pool on the CXL
+// device). Frames carry a content token instead of real bytes, so a
+// 630 MB process footprint costs the simulation a few MB while copies,
+// sharing, and corruption remain observable: two frames hold identical
+// page contents iff their tokens are equal.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind distinguishes pool placement, which determines access latency.
+type Kind int
+
+const (
+	// Local is node-attached DRAM.
+	Local Kind = iota
+	// CXL is the shared fabric-attached device memory.
+	CXL
+)
+
+func (k Kind) String() string {
+	if k == CXL {
+		return "cxl"
+	}
+	return "local"
+}
+
+// ErrOutOfMemory is returned when a pool has no free frames.
+var ErrOutOfMemory = errors.New("memsim: out of memory")
+
+// Frame is one physical page frame.
+type Frame struct {
+	pool *Pool
+	pfn  int // index within pool: the page frame number
+
+	// Data is the content token. Equal tokens mean identical page
+	// contents. Zero means a zeroed page.
+	Data uint64
+
+	// refs counts mappings/owners. Frames are freed when refs drops to
+	// zero via Pool.Put.
+	refs int
+
+	// gen increments on every allocation so cache keys from a previous
+	// life of the frame never hit after reuse.
+	gen uint32
+}
+
+// CacheKey returns the frame's physical identity for cache models:
+// caches are physically indexed, so sharers of a frame (page cache,
+// CoW-shared pages, CXL checkpoint pages) hit on each other's lines.
+func (f *Frame) CacheKey() uint64 {
+	return uint64(f.pool.id)<<56 | uint64(f.pfn)<<24 | uint64(f.gen&0xffffff)
+}
+
+// PFN returns the frame's page frame number within its pool. For CXL
+// frames this is the device-relative frame number that checkpointed page
+// tables store after rebasing.
+func (f *Frame) PFN() int { return f.pfn }
+
+// Pool returns the owning pool.
+func (f *Frame) Pool() *Pool { return f.pool }
+
+// Kind returns the placement kind of the frame's pool.
+func (f *Frame) Kind() Kind { return f.pool.kind }
+
+// Refs returns the current reference count.
+func (f *Frame) Refs() int { return f.refs }
+
+// Get increments the frame's reference count (a new sharer).
+func (f *Frame) Get() *Frame {
+	if f.refs <= 0 {
+		panic("memsim: Get on free frame")
+	}
+	f.refs++
+	return f
+}
+
+// poolIDs hands out unique pool identifiers for cache keys.
+var poolIDs uint32
+
+// Pool is a fixed-capacity set of frames.
+type Pool struct {
+	name     string
+	id       uint32
+	kind     Kind
+	pageSize int
+
+	frames []Frame
+	free   []int // stack of free pfns
+	used   int
+
+	peakUsed int
+}
+
+// NewPool creates a pool with capacity bytes of pageSize pages.
+func NewPool(name string, kind Kind, capacityBytes int64, pageSize int) *Pool {
+	if pageSize <= 0 || capacityBytes <= 0 {
+		panic("memsim: invalid pool geometry")
+	}
+	n := int(capacityBytes / int64(pageSize))
+	poolIDs++
+	p := &Pool{name: name, id: poolIDs, kind: kind, pageSize: pageSize}
+	p.frames = make([]Frame, n)
+	p.free = make([]int, n)
+	for i := range p.frames {
+		p.frames[i].pool = p
+		p.frames[i].pfn = i
+		// Pop order low-to-high for deterministic PFNs.
+		p.free[i] = n - 1 - i
+	}
+	return p
+}
+
+// Name returns the pool name.
+func (p *Pool) Name() string { return p.name }
+
+// Kind returns the pool kind.
+func (p *Pool) Kind() Kind { return p.kind }
+
+// PageSize returns the frame size in bytes.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// CapacityPages returns the total number of frames.
+func (p *Pool) CapacityPages() int { return len(p.frames) }
+
+// UsedPages returns the number of allocated frames.
+func (p *Pool) UsedPages() int { return p.used }
+
+// PeakUsedPages returns the allocation high-water mark.
+func (p *Pool) PeakUsedPages() int { return p.peakUsed }
+
+// UsedBytes returns allocated bytes.
+func (p *Pool) UsedBytes() int64 { return int64(p.used) * int64(p.pageSize) }
+
+// FreePages returns the number of free frames.
+func (p *Pool) FreePages() int { return len(p.frames) - p.used }
+
+// Utilization returns used/capacity in [0,1].
+func (p *Pool) Utilization() float64 {
+	return float64(p.used) / float64(len(p.frames))
+}
+
+// ResetPeak resets the high-water mark to the current usage.
+func (p *Pool) ResetPeak() { p.peakUsed = p.used }
+
+// Alloc returns a zeroed frame with refcount 1.
+func (p *Pool) Alloc() (*Frame, error) {
+	if len(p.free) == 0 {
+		return nil, fmt.Errorf("%w: pool %q (%d pages)", ErrOutOfMemory, p.name, len(p.frames))
+	}
+	pfn := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	f := &p.frames[pfn]
+	f.Data = 0
+	f.refs = 1
+	f.gen++
+	p.used++
+	if p.used > p.peakUsed {
+		p.peakUsed = p.used
+	}
+	return f, nil
+}
+
+// MustAlloc is Alloc for contexts where exhaustion is a setup bug.
+func (p *Pool) MustAlloc() *Frame {
+	f, err := p.Alloc()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Put drops one reference; the frame is returned to the free list when
+// the count reaches zero.
+func (p *Pool) Put(f *Frame) {
+	if f.pool != p {
+		panic("memsim: Put on foreign frame")
+	}
+	if f.refs <= 0 {
+		panic("memsim: Put on free frame")
+	}
+	f.refs--
+	if f.refs == 0 {
+		p.used--
+		p.free = append(p.free, f.pfn)
+	}
+}
+
+// Frame returns the frame with the given pfn. It panics on a pfn outside
+// the pool — dereferencing a dangling rebased pointer is a checkpoint
+// format bug the tests must surface loudly.
+func (p *Pool) Frame(pfn int) *Frame {
+	if pfn < 0 || pfn >= len(p.frames) {
+		panic(fmt.Sprintf("memsim: pfn %d out of range for pool %q", pfn, p.name))
+	}
+	return &p.frames[pfn]
+}
+
+// Copy duplicates src's contents into dst (token copy).
+func Copy(dst, src *Frame) { dst.Data = src.Data }
+
+// tokenCounter hands out unique non-zero content tokens.
+var tokenCounter uint64
+
+// NewToken returns a fresh unique content token, modelling a distinct
+// page content produced by a store.
+func NewToken() uint64 {
+	tokenCounter++
+	return tokenCounter
+}

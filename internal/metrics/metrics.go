@@ -1,0 +1,125 @@
+// Package metrics provides the latency and utilization accounting used
+// by the experiment drivers: exact percentile estimation over recorded
+// samples and simple time-weighted gauges.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cxlfork/internal/des"
+)
+
+// LatencyRecorder collects latency samples and reports percentiles.
+type LatencyRecorder struct {
+	samples []des.Time
+	sorted  bool
+	sum     des.Time
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds a sample.
+func (r *LatencyRecorder) Record(d des.Time) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.sum += d
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Mean returns the average latency (0 with no samples).
+func (r *LatencyRecorder) Mean() des.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / des.Time(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples. It returns 0 with no samples.
+func (r *LatencyRecorder) Percentile(p float64) des.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(r.samples) {
+		rank = len(r.samples)
+	}
+	return r.samples[rank-1]
+}
+
+// P50 returns the median.
+func (r *LatencyRecorder) P50() des.Time { return r.Percentile(50) }
+
+// P99 returns the 99th percentile.
+func (r *LatencyRecorder) P99() des.Time { return r.Percentile(99) }
+
+// Max returns the largest sample.
+func (r *LatencyRecorder) Max() des.Time { return r.Percentile(100) }
+
+// Reset discards all samples.
+func (r *LatencyRecorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+	r.sum = 0
+}
+
+// Gauge tracks a time-weighted average of a quantity sampled over
+// virtual time (memory utilization, instance counts).
+type Gauge struct {
+	lastT   des.Time
+	lastV   float64
+	area    float64
+	started bool
+	max     float64
+}
+
+// Observe records the quantity's value at virtual time t. Values are
+// held constant between observations.
+func (g *Gauge) Observe(t des.Time, v float64) {
+	if g.started && t > g.lastT {
+		g.area += g.lastV * float64(t-g.lastT)
+	}
+	if !g.started || v > g.max {
+		g.max = v
+	}
+	g.lastT, g.lastV, g.started = t, v, true
+}
+
+// MeanOver returns the time-weighted mean from time zero (callers start
+// observing at t≈0) to end.
+func (g *Gauge) MeanOver(end des.Time) float64 {
+	if !g.started || end <= 0 {
+		return 0
+	}
+	area := g.area
+	if end > g.lastT {
+		area += g.lastV * float64(end-g.lastT)
+	}
+	return area / float64(end)
+}
+
+// Max returns the largest observed value.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Ratio formats a/b as a multiplier string ("2.26x").
+func Ratio(a, b des.Time) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cxlfork/internal/des"
+)
+
+func TestPercentilesExact(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(des.Time(i))
+	}
+	if got := r.P50(); got != 50 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := r.P99(); got != 99 {
+		t.Fatalf("P99 = %v", got)
+	}
+	if got := r.Max(); got != 100 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := r.Percentile(1); got != 1 {
+		t.Fatalf("P1 = %v", got)
+	}
+	if got := r.Mean(); got != 50 { // (1+..+100)/100 = 50.5 truncated
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.P99() != 0 || r.Mean() != 0 || r.Count() != 0 {
+		t.Fatal("empty recorder not zero")
+	}
+}
+
+func TestRecordAfterPercentile(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(10)
+	_ = r.P50()
+	r.Record(5) // must re-sort
+	if got := r.Percentile(1); got != 5 {
+		t.Fatalf("P1 after late record = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(10)
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestPercentileMatchesNearestRank property-checks against a direct
+// nearest-rank computation.
+func TestPercentileMatchesNearestRank(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		r := NewLatencyRecorder()
+		vals := make([]des.Time, n)
+		for i := range vals {
+			vals[i] = des.Time(rng.Intn(1_000_000))
+			r.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, p := range []float64{1, 25, 50, 90, 99, 100} {
+			rank := int(float64(n)*p/100 + 0.9999999)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > n {
+				rank = n
+			}
+			if r.Percentile(p) != vals[rank-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaugeTimeWeightedMean(t *testing.T) {
+	var g Gauge
+	g.Observe(0, 1.0)
+	g.Observe(10, 3.0)  // value 1.0 held for 10
+	g.Observe(20, 3.0)  // value 3.0 held for 10
+	m := g.MeanOver(20) // (1*10 + 3*10) / 20 = 2
+	if m != 2.0 {
+		t.Fatalf("mean = %v", m)
+	}
+	if g.Max() != 3.0 {
+		t.Fatalf("max = %v", g.Max())
+	}
+}
+
+func TestGaugeEmpty(t *testing.T) {
+	var g Gauge
+	if g.MeanOver(100) != 0 || g.Max() != 0 {
+		t.Fatal("empty gauge not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(226, 100); got != "2.26x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Fatalf("Ratio by zero = %q", got)
+	}
+}

@@ -1,0 +1,266 @@
+// Package mitosis implements the Mitosis-CXL baseline (paper §2.3.2,
+// §6.2): the state-of-the-art RDMA remote fork ported to CXL. The
+// checkpoint is a shadow, immutable copy of the parent's pages in the
+// parent node's local memory plus serialized OS state. Restore transfers
+// and deserializes the OS state (including the parent's page tables),
+// then lazily copies each accessed page from the shadow copy over the
+// CXL fabric — each "remote" fault pays a store to and a fetch from CXL
+// memory, standing in for the one-sided RDMA reads of the original.
+package mitosis
+
+import (
+	"fmt"
+
+	"cxlfork/internal/des"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/memsim"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/vma"
+	"cxlfork/internal/wire"
+)
+
+// shadowPage is one page of the shadow copy.
+type shadowPage struct {
+	frame *memsim.Frame
+	file  bool
+}
+
+// Image is a Mitosis checkpoint: a shadow copy coupled to the parent
+// node (its central design constraint — the parent node must stay alive
+// and is a point of congestion, §3.1).
+type Image struct {
+	id       string
+	parentOS *kernel.OS
+
+	shadow   map[uint64]shadowPage // keyed by virtual page number
+	osState  []byte                // wire-encoded VMAs + global state
+	vmaCount int
+	pteCount int
+
+	refs int
+}
+
+var _ rfork.Image = (*Image)(nil)
+
+// ID returns the checkpoint ID.
+func (im *Image) ID() string { return im.id }
+
+// Mechanism returns "Mitosis-CXL".
+func (im *Image) Mechanism() string { return "Mitosis-CXL" }
+
+// CXLBytes is zero: Mitosis keeps the checkpoint in the parent node.
+func (im *Image) CXLBytes() int64 { return 0 }
+
+// LocalBytes returns the parent-node memory the shadow copy occupies.
+func (im *Image) LocalBytes() int64 {
+	return int64(len(im.shadow)) * int64(im.parentOS.P.PageSize)
+}
+
+// Pages returns the shadow page count.
+func (im *Image) Pages() int { return len(im.shadow) }
+
+// Refs returns the reference count.
+func (im *Image) Refs() int { return im.refs }
+
+// Retain adds a reference.
+func (im *Image) Retain() { im.refs++ }
+
+// Release drops a reference; at zero the shadow copy is freed.
+func (im *Image) Release() {
+	if im.refs <= 0 {
+		panic("mitosis: Release on dead image")
+	}
+	im.refs--
+	if im.refs > 0 {
+		return
+	}
+	for _, sp := range im.shadow {
+		im.parentOS.Mem.Put(sp.frame)
+	}
+	im.shadow = nil
+}
+
+// Mechanism is the Mitosis-CXL rfork.Mechanism.
+type Mechanism struct{}
+
+// New returns the Mitosis-CXL mechanism.
+func New() *Mechanism { return &Mechanism{} }
+
+// Name returns "Mitosis-CXL".
+func (m *Mechanism) Name() string { return "Mitosis-CXL" }
+
+// Image message field tags.
+const (
+	fieldVMA    = 1
+	fieldGlobal = 2
+	fieldPTEs   = 3
+)
+
+// Checkpoint creates the shadow copy in parent-node local memory and
+// serializes the OS state.
+func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
+	o := parent.OS
+	p := o.P
+	im := &Image{id: id, parentOS: o, shadow: make(map[uint64]shadowPage), refs: 1}
+	var cost des.Time
+
+	// Serialize the address-space layout and global state.
+	enc := wire.NewEncoder()
+	parent.MM.VMAs.Walk(func(v vma.VMA) {
+		enc.PutBytes(fieldVMA, rfork.EncodeVMA(v))
+		im.vmaCount++
+		cost += p.VMACheckpoint
+	})
+	gs := rfork.CaptureGlobalState(parent)
+	enc.PutBytes(fieldGlobal, gs.Encode())
+	cost += des.Time(len(gs.FDs)) * p.FDSerialize
+	cost += p.StructCopy
+
+	// Shadow-copy every present page into parent-local memory, and
+	// serialize the page-table metadata.
+	var cpErr error
+	parent.MM.PT.Walk(func(va pt.VirtAddr, leaf *pt.Leaf, i int) {
+		if cpErr != nil {
+			return
+		}
+		e := leaf.PTEs[i]
+		var src *memsim.Frame
+		if e.Flags.Has(pt.OnCXL) {
+			src = o.Dev.Pool().Frame(int(e.PFN))
+		} else {
+			src = o.Mem.Frame(int(e.PFN))
+		}
+		dst, err := o.Mem.Alloc()
+		if err != nil {
+			cpErr = err
+			return
+		}
+		memsim.Copy(dst, src)
+		im.shadow[va.PageNumber()] = shadowPage{frame: dst, file: e.Flags.Has(pt.FileBacked)}
+		im.pteCount++
+		cost += p.LocalCopyPage + p.PTECopy
+	})
+	if cpErr != nil {
+		im.Release()
+		return nil, cpErr
+	}
+	enc.PutUint(fieldPTEs, uint64(im.pteCount))
+	im.osState = enc.Bytes()
+
+	o.Eng.Advance(cost)
+	return im, nil
+}
+
+// Restore deserializes the OS state on the child's node — rebuilding the
+// VMA tree and transferring the parent's page tables — and installs the
+// remote-paging overlay. No page data moves at restore time.
+func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options) error {
+	im, ok := img.(*Image)
+	if !ok {
+		return fmt.Errorf("mitosis: image %s is %T, not a Mitosis image", img.ID(), img)
+	}
+	if im.refs <= 0 {
+		return fmt.Errorf("mitosis: restore from reclaimed image %s", im.id)
+	}
+	o := child.OS
+	p := o.P
+	var cost des.Time
+
+	var gs rfork.GlobalState
+	var haveGS bool
+	d := wire.NewDecoder(im.osState)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case fieldVMA:
+			b, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			v, err := rfork.DecodeVMA(b)
+			if err != nil {
+				return err
+			}
+			if _, err := child.MM.VMAs.Insert(v); err != nil {
+				return err
+			}
+			cost += p.VMAReconstruct
+		case fieldGlobal:
+			b, err := d.Bytes()
+			if err != nil {
+				return err
+			}
+			gs, err = rfork.DecodeGlobalState(b)
+			if err != nil {
+				return err
+			}
+			haveGS = true
+		case fieldPTEs:
+			n, err := d.Uint()
+			if err != nil {
+				return err
+			}
+			// Transfer and deserialize the parent's page tables.
+			cost += des.Time(n) * p.PTEDeserialize
+		default:
+			if err := d.Skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	if !haveGS {
+		return fmt.Errorf("mitosis: image %s has no global state", im.id)
+	}
+	o.Eng.Advance(cost)
+	if err := rfork.RestoreGlobalState(child, gs); err != nil {
+		return err
+	}
+
+	child.MM.Overlay = &overlay{im: im}
+	im.Retain()
+	child.MM.OnExit(im.Release)
+	return nil
+}
+
+// overlay implements Mitosis' lazy remote paging: the first access to
+// any page copies it from the parent's shadow into child-local memory
+// over the CXL fabric.
+type overlay struct {
+	im *Image
+}
+
+// Fault copies the page at va from the shadow copy. The cost models the
+// parent-side store to CXL plus the child-side fetch (§6.2).
+func (ov *overlay) Fault(mm *kernel.MM, va pt.VirtAddr, write bool) (pt.PTE, des.Time, kernel.FaultKind, bool) {
+	sp, ok := ov.im.shadow[va.PageNumber()]
+	if !ok {
+		return pt.PTE{}, 0, 0, false
+	}
+	o := mm.OS
+	p := o.P
+	local, err := o.Mem.Alloc()
+	if err != nil {
+		return pt.PTE{}, 0, 0, false // OOM surfaces as a segfault upstream
+	}
+	memsim.Copy(local, sp.frame)
+	o.Dev.WriteBytes += int64(p.PageSize)
+	o.Dev.ReadBytes += int64(p.PageSize)
+
+	flags := pt.Accessed
+	if sp.file {
+		flags |= pt.FileBacked
+	}
+	if v := mm.VMAs.Find(va); v != nil && v.Prot&vma.Write != 0 {
+		flags |= pt.Writable
+	}
+	if write {
+		flags |= pt.Dirty
+		local.Data = memsim.NewToken()
+	}
+	cost := p.FaultEntry + p.CXLWritePage + p.CXLReadPage
+	return pt.PTE{Flags: pt.Present | flags, PFN: int32(local.PFN())}, cost, kernel.FaultMoA, true
+}

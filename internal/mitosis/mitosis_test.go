@@ -1,0 +1,168 @@
+package mitosis_test
+
+import (
+	"testing"
+
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/mitosis"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/rforktest"
+)
+
+func TestCheckpointShadowInParentMemory(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	used := c.Node(0).Mem.UsedPages()
+
+	img, err := mitosis.New().Checkpoint(parent, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPages := rforktest.LibPages + rforktest.HeapPages
+	if img.Pages() != wantPages {
+		t.Fatalf("shadow pages = %d, want %d", img.Pages(), wantPages)
+	}
+	// The shadow copy occupies parent-node local memory, not CXL.
+	if got := c.Node(0).Mem.UsedPages() - used; got != wantPages {
+		t.Fatalf("parent-local delta = %d, want %d", got, wantPages)
+	}
+	if img.LocalBytes() == 0 || img.CXLBytes() != 0 {
+		t.Fatalf("placement wrong: local=%d cxl=%d", img.LocalBytes(), img.CXLBytes())
+	}
+}
+
+func TestRestoreLazyCopies(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	snap := rforktest.SnapshotTokens(parent)
+	mech := mitosis.New()
+	img, err := mech.Checkpoint(parent, "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Restore moved no data.
+	if got := child.MM.PT.CountPresent(); got != 0 {
+		t.Fatalf("restore populated %d PTEs", got)
+	}
+	if child.MM.VMAs.Count() != parent.MM.VMAs.Count() {
+		t.Fatal("VMA tree not reconstructed")
+	}
+
+	rforktest.VerifyCloneContent(t, child, snap)
+	// Every touched page was copied to child-local memory.
+	if got := child.MM.ResidentCXLPages(); got != 0 {
+		t.Fatalf("%d pages mapped from CXL; Mitosis copies everything", got)
+	}
+	if got := child.MM.Stats.Faults.Count(kernel.FaultMoA); got != int64(len(snap)) {
+		t.Fatalf("MoA faults = %d, want %d", got, len(snap))
+	}
+}
+
+func TestGlobalStateAndRegs(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	parent.Regs.IP = 0xdeadbeef
+	mech := mitosis.New()
+	img, _ := mech.Checkpoint(parent, "m3")
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if child.Regs.IP != 0xdeadbeef {
+		t.Fatal("registers not restored")
+	}
+	if child.FDs.Len() != parent.FDs.Len() {
+		t.Fatal("fds not restored")
+	}
+}
+
+func TestCloneWritesAreprivate(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	snap := rforktest.SnapshotTokens(parent)
+	mech := mitosis.New()
+	img, _ := mech.Checkpoint(parent, "m4")
+
+	c1 := c.Node(1).NewTask("c1")
+	mustRestore(t, mech, c1, img)
+	for i := 0; i < rforktest.HeapPages; i++ {
+		if err := c1.MM.Access(rforktest.AddrOf(rforktest.HeapBase, i), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := c.Node(0).NewTask("c2")
+	mustRestore(t, mech, c2, img)
+	rforktest.VerifyCloneContent(t, c2, snap)
+}
+
+func TestReleaseFreesShadow(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := mitosis.New()
+	used := c.Node(0).Mem.UsedPages()
+	img, _ := mech.Checkpoint(parent, "m5")
+
+	child := c.Node(1).NewTask("clone")
+	mustRestore(t, mech, child, img)
+	img.Release() // owner
+	if img.Refs() != 1 {
+		t.Fatalf("refs = %d", img.Refs())
+	}
+	c.Node(1).Exit(child)
+	if got := c.Node(0).Mem.UsedPages(); got != used {
+		t.Fatalf("shadow not freed: %d extra pages", got-used)
+	}
+}
+
+func TestParentCannotExitSemantics(t *testing.T) {
+	// Mitosis couples the image to the parent node: the image holds
+	// parent-node memory as long as any clone lives (§3.1). This test
+	// documents the coupling CXLfork removes.
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := mitosis.New()
+	img, _ := mech.Checkpoint(parent, "m6")
+	child := c.Node(1).NewTask("clone")
+	mustRestore(t, mech, child, img)
+	img.Release()
+	if img.LocalBytes() == 0 {
+		t.Fatal("image dropped parent-node state while a clone lives")
+	}
+}
+
+func TestRestorePopulatesWritableByVMA(t *testing.T) {
+	c := rforktest.NewCluster(t)
+	parent := rforktest.BuildParent(t, c)
+	mech := mitosis.New()
+	img, _ := mech.Checkpoint(parent, "m7")
+	child := c.Node(1).NewTask("clone")
+	mustRestore(t, mech, child, img)
+
+	if err := child.MM.Access(rforktest.HeapBase, false); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := child.MM.PT.Lookup(rforktest.HeapBase)
+	if !e.Flags.Has(pt.Writable) {
+		t.Fatal("heap page not writable after copy")
+	}
+	if err := child.MM.Access(rforktest.LibBase, false); err != nil {
+		t.Fatal(err)
+	}
+	le, _ := child.MM.PT.Lookup(rforktest.LibBase)
+	if le.Flags.Has(pt.Writable) {
+		t.Fatal("library page writable")
+	}
+}
+
+func mustRestore(t *testing.T, mech *mitosis.Mechanism, child *kernel.Task, img rfork.Image) {
+	t.Helper()
+	if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package params centralizes every calibration constant of the simulated
+// platform. Each value is annotated with its provenance: either a number
+// the paper reports directly (§4.2.1 microbenchmarks, §6 methodology) or
+// a value chosen during calibration so that the mechanistic model
+// reproduces the paper's reported shapes (see EXPERIMENTS.md).
+//
+// Params is passed explicitly to every subsystem; there is no global
+// configuration. Experiments that sweep a dimension (Fig. 9 sweeps CXL
+// latency) copy the struct and override one field.
+package params
+
+import "cxlfork/internal/des"
+
+// Params describes the simulated hardware and software cost model.
+type Params struct {
+	// ---- Platform geometry (paper §6.1) ----
+
+	// PageSize is the base page size in bytes.
+	PageSize int
+	// CacheLineSize in bytes.
+	CacheLineSize int
+	// LLCBytes is the per-node last-level cache capacity (64 MB L3 on
+	// Sapphire Rapids).
+	LLCBytes int64
+	// NodeDRAMBytes is the per-node local DRAM capacity (128 GB per
+	// socket in the paper; experiments shrink it for Fig. 10c).
+	NodeDRAMBytes int64
+	// CXLBytes is the capacity of the shared CXL device (16 GB DDR4 DIMM
+	// behind the Agilex FPGA).
+	CXLBytes int64
+	// CoresPerNode is the number of CPU cores available to run function
+	// instances on each node.
+	CoresPerNode int
+
+	// ---- Memory access latencies (round trip, paper §6.1 / Fig. 9) ----
+
+	// LLCHit is the latency of a last-level-cache hit.
+	LLCHit des.Time
+	// LocalMemLatency is the round-trip latency of node-local DRAM
+	// (~100 ns; Fig. 9 calls 100 ns "close to the round trip to our
+	// local memory").
+	LocalMemLatency des.Time
+	// CXLLatency is the round-trip latency to CXL memory (391 ns
+	// measured on the paper's FPGA prototype; swept 100–400 ns in
+	// Fig. 9).
+	CXLLatency des.Time
+
+	// ---- Copy bandwidth-derived per-page costs ----
+
+	// LocalCopyPage is the cost of copying one page DRAM→DRAM (Mitosis
+	// checkpoints into local memory at this rate).
+	LocalCopyPage des.Time
+	// CXLWritePage is the cost of one NT-store page copy into CXL
+	// memory (CXLfork checkpoint; §8). Calibrated so CXLfork
+	// checkpointing is ~1.5x slower than Mitosis' local checkpoint
+	// (§7.1 "Checkpoint Performance").
+	CXLWritePage des.Time
+	// CXLReadPage is the data-movement cost of copying one page from
+	// CXL to local DRAM (1.3 µs measured in §4.2.1).
+	CXLReadPage des.Time
+
+	// ---- Page fault costs (paper §4.2.1) ----
+
+	// AnonFault is a regular minor fault allocating a zeroed anonymous
+	// page from local memory ("less than 1 µs").
+	AnonFault des.Time
+	// FaultEntry is the fixed trap/handler overhead of any fault that
+	// involves a page copy; the CoW-CXL total of 2.5 µs decomposes as
+	// FaultEntry + CXLReadPage + TLBShootdown.
+	FaultEntry des.Time
+	// TLBShootdown is the TLB-coherence cost when downgrading or
+	// replacing a mapped PTE (~500 ns, §4.2.1).
+	TLBShootdown des.Time
+	// CoWLocalFault is a copy-on-write fault whose source page is
+	// already in local DRAM (local fork's write faults).
+	CoWLocalFault des.Time
+	// FilePageCacheFault is a minor file fault hitting the local page
+	// cache (local fork re-populating library mappings).
+	FilePageCacheFault des.Time
+	// FileBackingFault is a major file fault reading from the backing
+	// (distributed) filesystem — the cost CXLfork avoids by
+	// checkpointing clean private file pages (§4.1).
+	FileBackingFault des.Time
+
+	// ---- Process / OS structure costs ----
+
+	// PTECopy is the per-entry cost of copying or rewriting one page
+	// table entry (local fork's table duplication; Mitosis' page-table
+	// deserialization uses PTEDeserialize below).
+	PTECopy des.Time
+	// PTERebase is the per-entry cost of rewriting a checkpointed PTE
+	// to a CXL frame number plus rebasing (CXLfork checkpoint step 7).
+	PTERebase des.Time
+	// PTEDeserialize is Mitosis' per-entry cost of transferring and
+	// decoding one PTE of the parent's page table over the fabric.
+	PTEDeserialize des.Time
+	// LeafAttach is CXLfork's cost of attaching one checkpointed
+	// page-table leaf (512 PTEs) into the child's upper levels.
+	LeafAttach des.Time
+	// UpperTableInit is the cost of allocating and initializing one
+	// upper-level page-table node locally.
+	UpperTableInit des.Time
+	// VMAReconstruct is the cost of fully reconstructing one VMA on
+	// restore (CRIU and Mitosis paths).
+	VMAReconstruct des.Time
+	// VMALeafAttach is CXLfork's cost of attaching one checkpointed VMA
+	// leaf.
+	VMALeafAttach des.Time
+	// VMACheckpoint is the per-VMA cost of checkpointing a VMA record.
+	VMACheckpoint des.Time
+	// TaskCreate is the cost of creating the empty child task that
+	// calls restore (clone syscall, scheduler linkage).
+	TaskCreate des.Time
+	// ForkVMACopy is local fork's per-VMA duplication cost.
+	ForkVMACopy des.Time
+	// FDReopen is the per-descriptor cost of reopening a file or socket
+	// from its serialized path during global-state restore.
+	FDReopen des.Time
+	// FDSerialize is the per-descriptor cost of serializing path and
+	// permissions at checkpoint.
+	FDSerialize des.Time
+	// NamespaceRestore is the cost of restoring mount points and PID
+	// namespaces from the checkpoint.
+	NamespaceRestore des.Time
+	// StructCopy is the fixed cost of copying the Task and MM
+	// descriptors to or from a checkpoint.
+	StructCopy des.Time
+
+	// ---- CRIU image costs (protobuf encode/decode, file I/O on cxlfs) ----
+
+	// CRIUPageSerialize is CRIU's per-page cost to protobuf-encode and
+	// write one memory page into an image file.
+	CRIUPageSerialize des.Time
+	// CRIUPageRestore is CRIU's per-page cost to decode one page record,
+	// allocate a local frame, copy the contents, and map it.
+	CRIUPageRestore des.Time
+	// CRIURecordEncode / CRIURecordDecode are per-record costs for
+	// non-page image records (VMAs, FDs, task metadata).
+	CRIURecordEncode des.Time
+	CRIURecordDecode des.Time
+
+	// ---- Serverless platform costs (paper §5 / Fig. 6) ----
+
+	// ContainerCreate is the cost of creating a fresh container:
+	// network, namespaces, cgroups (~130 ms, function-independent).
+	ContainerCreate des.Time
+	// GhostContainerTrigger is the cost of signalling an idle ghost
+	// container's control socket and having it issue the restore.
+	GhostContainerTrigger des.Time
+	// GhostContainerBytes is the resident footprint of an empty ghost
+	// container (512 KB measured in §5).
+	GhostContainerBytes int64
+	// RuntimeColdInit is the function-independent part of cold state
+	// initialization (interpreter boot, module import machinery);
+	// per-function model/data loading is charged by the function model
+	// on top of this.
+	RuntimeColdInit des.Time
+	// KeepAlive is the default keep-alive window for idle instances.
+	KeepAlive des.Time
+	// KeepAliveShort is the shortened window CXLporter switches to
+	// under memory pressure (10 s, §5).
+	KeepAliveShort des.Time
+	// CheckpointAfter is the invocation count after which CXLporter
+	// checkpoints a function (16, §5).
+	CheckpointAfter int
+	// HighMemFraction is the local-memory utilization above which
+	// CXLporter stops promoting functions to hybrid tiering (0.90).
+	HighMemFraction float64
+	// ABitResetPeriod is how often CXLporter clears checkpointed A bits
+	// to re-estimate hot pages.
+	ABitResetPeriod des.Time
+}
+
+// Default returns the calibrated parameter set matching the paper's
+// Sapphire Rapids + Agilex-7 testbed.
+func Default() Params {
+	return Params{
+		PageSize:      4096,
+		CacheLineSize: 64,
+		LLCBytes:      64 << 20,
+		NodeDRAMBytes: 128 << 30,
+		CXLBytes:      16 << 30,
+		CoresPerNode:  32,
+
+		LLCHit:          20 * des.Nanosecond,
+		LocalMemLatency: 100 * des.Nanosecond,
+		CXLLatency:      391 * des.Nanosecond,
+
+		LocalCopyPage: 340 * des.Nanosecond,
+		CXLWritePage:  510 * des.Nanosecond,
+		CXLReadPage:   1300 * des.Nanosecond,
+
+		AnonFault:          900 * des.Nanosecond,
+		FaultEntry:         700 * des.Nanosecond,
+		TLBShootdown:       500 * des.Nanosecond,
+		CoWLocalFault:      1000 * des.Nanosecond,
+		FilePageCacheFault: 1100 * des.Nanosecond,
+		FileBackingFault:   8 * des.Microsecond,
+
+		PTECopy:          12 * des.Nanosecond,
+		PTERebase:        10 * des.Nanosecond,
+		PTEDeserialize:   80 * des.Nanosecond,
+		LeafAttach:       1 * des.Microsecond,
+		UpperTableInit:   500 * des.Nanosecond,
+		VMAReconstruct:   10 * des.Microsecond,
+		VMALeafAttach:    300 * des.Nanosecond,
+		VMACheckpoint:    2 * des.Microsecond,
+		TaskCreate:       300 * des.Microsecond,
+		ForkVMACopy:      1 * des.Microsecond,
+		FDReopen:         60 * des.Microsecond,
+		FDSerialize:      5 * des.Microsecond,
+		NamespaceRestore: 200 * des.Microsecond,
+		StructCopy:       20 * des.Microsecond,
+
+		CRIUPageSerialize: 4 * des.Microsecond,
+		CRIUPageRestore:   3 * des.Microsecond,
+		CRIURecordEncode:  5 * des.Microsecond,
+		CRIURecordDecode:  15 * des.Microsecond,
+
+		ContainerCreate:       130 * des.Millisecond,
+		GhostContainerTrigger: 200 * des.Microsecond,
+		GhostContainerBytes:   512 << 10,
+		RuntimeColdInit:       120 * des.Millisecond,
+		KeepAlive:             10 * des.Minute,
+		KeepAliveShort:        10 * des.Second,
+		CheckpointAfter:       16,
+		HighMemFraction:       0.90,
+		ABitResetPeriod:       30 * des.Second,
+	}
+}
+
+// Pages converts a byte count to a page count, rounding up.
+func (p Params) Pages(bytes int64) int {
+	ps := int64(p.PageSize)
+	return int((bytes + ps - 1) / ps)
+}
+
+// Bytes converts a page count to bytes.
+func (p Params) Bytes(pages int) int64 { return int64(pages) * int64(p.PageSize) }
+
+// CoWCXLFault is the total cost of a copy-on-write fault whose source is
+// a CXL page and which must shoot down a previously-valid read-only
+// mapping: trap + copy + TLB coherence (≈2.5 µs with defaults, §4.2.1).
+func (p Params) CoWCXLFault() des.Time {
+	return p.FaultEntry + p.CXLReadPage + p.TLBShootdown
+}
+
+// MoAFault is the cost of a migrate-on-access fault: the PTE was absent,
+// so there is no shootdown, but the page is copied from CXL.
+func (p Params) MoAFault() des.Time {
+	return p.FaultEntry + p.CXLReadPage
+}

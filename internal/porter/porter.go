@@ -1,0 +1,334 @@
+// Package porter implements CXLporter, the horizontal FaaS autoscaler
+// built on remote fork (paper §5). It maintains a CID object store of
+// checkpoints, a pool of ghost containers per function, dynamically
+// selects CXLfork tiering policies from observed latency and memory
+// pressure, and shortens keep-alive windows under pressure.
+//
+// Scaling experiments (Fig. 10) replay bursty arrival traces over the
+// discrete-event engine. Per-request work uses profiles measured
+// mechanistically in isolation (restore latency, cold and warm execution
+// time, steady-state local footprint, per mechanism and tiering policy);
+// the event-driven replay then captures queueing, cold-start storms, and
+// memory-pressure effects that the profiles alone cannot.
+package porter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/container"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faas"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/metrics"
+	"cxlfork/internal/rfork"
+)
+
+// Profile is the measured behaviour of one (function, mechanism,
+// policy) combination, produced by mechanistic calibration runs.
+type Profile struct {
+	// Restore is the restore-phase latency.
+	Restore des.Time
+	// ColdExec is the first invocation's duration after restore,
+	// including its fault costs.
+	ColdExec des.Time
+	// RemoteCopy is the portion of ColdExec spent copying pages from the
+	// parent node (Mitosis only). Concurrent clones share the parent
+	// node's uplink — the parent is a point of congestion (§3.1). Each
+	// remote fault is a latency-bound ~1.6 GB/s stream, so the uplink
+	// admits a handful of concurrent streams before queueing.
+	RemoteCopy des.Time
+	// WarmExec is the steady-state invocation duration.
+	WarmExec des.Time
+	// LocalPages is the instance's steady-state node-local footprint.
+	LocalPages int
+	// ColdInit is the full cold-start initialization time (no
+	// checkpoint available), excluding container creation.
+	ColdInit des.Time
+	// ColdInitExec is the first invocation's duration after a scratch
+	// cold start.
+	ColdInitExec des.Time
+	// FootprintPages is the full footprint (scratch cold start memory).
+	FootprintPages int
+}
+
+// ProfileKey identifies a profile.
+type ProfileKey struct {
+	Function  string
+	Mechanism string
+	Policy    rfork.Policy
+}
+
+// Config tunes a porter deployment.
+type Config struct {
+	// Mechanism is the rfork design used for scaling.
+	Mechanism rfork.Mechanism
+	// Profiles maps every (function, mechanism, policy) the run may use.
+	Profiles map[ProfileKey]Profile
+	// StaticPolicy, when non-nil, pins the tiering policy (the paper's
+	// CXLfork-MoW configuration). When nil and DynamicTiering is true,
+	// the porter adapts per function.
+	StaticPolicy *rfork.Policy
+	// DynamicTiering enables SLO/memory driven policy adaptation (§5).
+	DynamicTiering bool
+	// GhostsPerFunction is the ghost container pool size per function
+	// per node.
+	GhostsPerFunction int
+	// DisableGhosts turns the ghost container pool off entirely (every
+	// spawn pays container creation) — the ablation for §5's ghost
+	// containers.
+	DisableGhosts bool
+	// SLOFactor sets the per-function latency SLO as a multiple of its
+	// all-local warm execution time (default 1.25).
+	SLOFactor float64
+	// User is the store key namespace.
+	User string
+	// Seed drives execution-time jitter.
+	Seed int64
+	// NodeBudgetBytes overrides the per-node memory budget of the
+	// scaling model (default params.NodeDRAMBytes). Fig. 10c shrinks it
+	// to 50% and 25%.
+	NodeBudgetBytes int64
+}
+
+// parentUplinkStreams is how many concurrent remote-fault copy streams
+// the Mitosis parent node sustains at full per-stream rate before
+// queueing (§3.1's congestion point).
+const parentUplinkStreams = 6
+
+// instState is an instance's lifecycle state in the scheduler.
+type instState int
+
+const (
+	instSpawning instState = iota
+	instBusy
+	instIdle
+	instDead
+)
+
+// instance is one live function instance in the queue model.
+type instance struct {
+	fn        string
+	node      *nodeState
+	policy    rfork.Policy
+	pages     int
+	ownsCtr   bool // spawned a fresh container (owns its 512 KB overhead)
+	state     instState
+	idleSince des.Time
+	expire    des.EventID
+	hasExpire bool
+	warmRuns  int
+}
+
+// nodeState is the per-node scheduler view.
+type nodeState struct {
+	os     *kernel.OS
+	rt     *container.Runtime
+	cpu    *des.Resource
+	ghosts map[string]int // idle sandboxes per function
+
+	budgetPages   int
+	usedPages     int
+	reservedPages int // Mitosis shadow copies pinned on this node
+
+	idle map[string][]*instance
+	all  map[*instance]bool
+}
+
+func (n *nodeState) freePages() int {
+	return n.budgetPages - n.usedPages - n.reservedPages
+}
+
+func (n *nodeState) utilization() float64 {
+	return float64(n.usedPages+n.reservedPages) / float64(n.budgetPages)
+}
+
+// fnState is per-function control state.
+type fnState struct {
+	spec    faas.Spec
+	policy  rfork.Policy
+	slo     des.Time
+	lateEWM float64 // EWMA of latency/SLO ratio
+	queue   []*pending
+}
+
+type pending struct {
+	fn      string
+	arrived des.Time
+}
+
+// Results summarizes a trace replay.
+type Results struct {
+	Overall     *metrics.LatencyRecorder
+	PerFunction map[string]*metrics.LatencyRecorder
+	Completed   int
+	WarmStarts  int
+	ColdForks   int // served by restoring a checkpoint
+	ScratchCold int // served by full cold start (no checkpoint)
+	Evictions   int
+	// CkptReclaims counts pages of checkpoints reclaimed under CXL
+	// memory pressure.
+	CkptReclaims int
+	// WindowCompleted counts requests that completed within the arrival
+	// window (the throughput numerator: a saturated design leaves work
+	// queued past the window).
+	WindowCompleted int
+	MemGauge        map[string]*metrics.Gauge
+	// Duration is the makespan: first arrival to last completion.
+	Duration des.Time
+	// PolicyPromotions counts dynamic MoW→HT switches.
+	PolicyPromotions int
+}
+
+// Throughput returns requests completed within the arrival window per
+// virtual second of makespan.
+func (r Results) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.WindowCompleted) / r.Duration.Seconds()
+}
+
+// Porter is the autoscaler.
+type Porter struct {
+	c     *cluster.Cluster
+	cfg   Config
+	store *ObjectStore
+	nodes []*nodeState
+	fns   map[string]*fnState
+	rng   *rand.Rand
+
+	res      Results
+	base     des.Time
+	lastDone des.Time
+	window   des.Time
+
+	// parentUplink serializes Mitosis' remote-fault copies out of the
+	// parent node (all parents live on node 0 after Setup).
+	parentUplink *des.Resource
+}
+
+// New creates a porter over a cluster.
+func New(c *cluster.Cluster, cfg Config) *Porter {
+	if cfg.SLOFactor == 0 {
+		cfg.SLOFactor = 1.25
+	}
+	if cfg.GhostsPerFunction == 0 {
+		cfg.GhostsPerFunction = 2
+	}
+	if cfg.User == "" {
+		cfg.User = "tenant0"
+	}
+	p := &Porter{
+		c:     c,
+		cfg:   cfg,
+		store: NewObjectStore(),
+		fns:   make(map[string]*fnState),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	p.parentUplink = des.NewResource(c.Eng, parentUplinkStreams)
+	budget := c.P.NodeDRAMBytes
+	if cfg.NodeBudgetBytes > 0 {
+		budget = cfg.NodeBudgetBytes
+	}
+	for _, os := range c.Nodes {
+		p.nodes = append(p.nodes, &nodeState{
+			os:          os,
+			rt:          container.NewRuntime(os),
+			cpu:         des.NewResource(c.Eng, c.P.CoresPerNode),
+			ghosts:      make(map[string]int),
+			budgetPages: int(budget / int64(c.P.PageSize)),
+			idle:        make(map[string][]*instance),
+			all:         make(map[*instance]bool),
+		})
+	}
+	return p
+}
+
+// Store returns the checkpoint object store.
+func (p *Porter) Store() *ObjectStore { return p.store }
+
+// ghostsCompatible reports whether the mechanism can restore into ghost
+// containers (CRIU-CXL cannot: it restores via the filesystem, §6.2).
+func (p *Porter) ghostsCompatible() bool {
+	return !p.cfg.DisableGhosts && p.cfg.Mechanism.Name() != "CRIU-CXL"
+}
+
+// Setup prepares the deployment: registers and warms every function's
+// image files, builds a warmed parent for each function, checkpoints it
+// after its 16th invocation (§5), registers the checkpoint in the object
+// store, tears the parent down, and provisions ghost container pools.
+// Setup time is charged to the engine but precedes the measured trace.
+func (p *Porter) Setup(specs []faas.Spec) error {
+	cp := p.c.P
+	for _, s := range specs {
+		faas.RegisterFiles(p.c.FS, cp, s)
+		for _, n := range p.c.Nodes {
+			if err := faas.WarmLibraries(n, s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range specs {
+		parentNode := p.nodes[0]
+		in, err := faas.NewInstance(parentNode.os, s)
+		if err != nil {
+			return err
+		}
+		if err := in.ColdInit(); err != nil {
+			return err
+		}
+		// Clear A/D after the first invocation so the checkpointed bits
+		// capture the steady state, not initialization (§5).
+		if _, err := in.Invoke(p.rng); err != nil {
+			return err
+		}
+		in.Task.MM.PT.ClearABits()
+		if err := in.Warmup(cp.CheckpointAfter-1, p.rng); err != nil {
+			return err
+		}
+		img, err := p.cfg.Mechanism.Checkpoint(in.Task, fmt.Sprintf("cid-%s-%s", p.cfg.User, s.Name))
+		if err != nil {
+			return err
+		}
+		p.store.Put(p.cfg.User, s.Name, img)
+		in.Exit()
+		// Mitosis pins its shadow copy in the parent node's memory for
+		// the lifetime of the image.
+		parentNode.reservedPages += int(img.LocalBytes() / int64(cp.PageSize))
+
+		st := &fnState{spec: s, policy: rfork.MigrateOnWrite}
+		if p.cfg.StaticPolicy != nil {
+			st.policy = *p.cfg.StaticPolicy
+		}
+		st.slo = des.Time(p.cfg.SLOFactor * float64(p.profile(s.Name, rfork.MigrateOnAccess).WarmExec))
+		p.fns[s.Name] = st
+
+		if p.ghostsCompatible() {
+			for _, n := range p.nodes {
+				for i := 0; i < p.cfg.GhostsPerFunction; i++ {
+					if _, err := n.rt.Create(); err != nil {
+						return err
+					}
+					n.ghosts[s.Name]++
+					n.usedPages += int(cp.GhostContainerBytes / int64(cp.PageSize))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// profile fetches the profile for a function under a policy, falling
+// back to the mechanism's canonical (MoW-keyed) entry for baselines.
+func (p *Porter) profile(fn string, pol rfork.Policy) Profile {
+	if pr, ok := p.cfg.Profiles[ProfileKey{fn, p.cfg.Mechanism.Name(), pol}]; ok {
+		return pr
+	}
+	pr, ok := p.cfg.Profiles[ProfileKey{fn, p.cfg.Mechanism.Name(), rfork.MigrateOnWrite}]
+	if !ok {
+		panic(fmt.Sprintf("porter: no profile for %s/%s", fn, p.cfg.Mechanism.Name()))
+	}
+	return pr
+}

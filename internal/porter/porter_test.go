@@ -1,0 +1,271 @@
+package porter_test
+
+import (
+	"testing"
+
+	"cxlfork/internal/azure"
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/core"
+	"cxlfork/internal/criu"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faas"
+	"cxlfork/internal/params"
+	"cxlfork/internal/porter"
+	"cxlfork/internal/rfork"
+)
+
+// tinySpec is a fast function for scheduler tests.
+func tinySpec() faas.Spec {
+	return faas.Spec{
+		Name: "Tiny", FootprintBytes: 8 << 20, LibBytes: 3 << 20,
+		InitFrac: 0.6, ROFrac: 0.3, RWFrac: 0.1,
+		InitComputeNs: 50 * des.Millisecond, WarmComputeNs: 10 * des.Millisecond,
+		ROSweeps: 1, RepeatsPerPage: 1, InitTouchFrac: 0.05, ScratchFrac: 0.05,
+		FDCount: 4, LibVMAs: 6,
+	}
+}
+
+// profiles builds a hand-written profile table for Tiny.
+func profiles(mech string) map[porter.ProfileKey]porter.Profile {
+	pr := porter.Profile{
+		Restore:        2 * des.Millisecond,
+		ColdExec:       15 * des.Millisecond,
+		WarmExec:       10 * des.Millisecond,
+		LocalPages:     256, // 1 MB
+		ColdInit:       200 * des.Millisecond,
+		ColdInitExec:   12 * des.Millisecond,
+		FootprintPages: 2048, // 8 MB
+	}
+	out := map[porter.ProfileKey]porter.Profile{}
+	for _, pol := range []rfork.Policy{rfork.MigrateOnWrite, rfork.MigrateOnAccess, rfork.HybridTiering} {
+		out[porter.ProfileKey{Function: "Tiny", Mechanism: mech, Policy: pol}] = pr
+	}
+	return out
+}
+
+func newPorter(t *testing.T, budget int64, mkMech func(c *cluster.Cluster) rfork.Mechanism, mechName string) (*porter.Porter, *cluster.Cluster) {
+	t.Helper()
+	p := params.Default()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	c := cluster.New(p, 2)
+	cfg := porter.Config{
+		Mechanism:       mkMech(c),
+		Profiles:        profiles(mechName),
+		NodeBudgetBytes: budget,
+		Seed:            1,
+	}
+	po := porter.New(c, cfg)
+	if err := po.Setup([]faas.Spec{tinySpec()}); err != nil {
+		t.Fatal(err)
+	}
+	return po, c
+}
+
+func cxlMech(c *cluster.Cluster) rfork.Mechanism { return core.New(c.Dev) }
+
+func steadyTrace(n int, gap des.Time) []azure.Request {
+	reqs := make([]azure.Request, n)
+	for i := range reqs {
+		reqs[i] = azure.Request{At: des.Time(i) * gap, Function: "Tiny"}
+	}
+	return reqs
+}
+
+func TestSetupRegistersCheckpoint(t *testing.T) {
+	po, _ := newPorter(t, 1<<30, cxlMech, "CXLfork")
+	if _, ok := po.Store().Get("tenant0", "Tiny"); !ok {
+		t.Fatal("checkpoint not in object store")
+	}
+}
+
+func TestAllRequestsComplete(t *testing.T) {
+	po, _ := newPorter(t, 1<<30, cxlMech, "CXLfork")
+	res := po.Run(steadyTrace(200, 20*des.Millisecond))
+	if res.Completed != 200 {
+		t.Fatalf("completed %d of 200", res.Completed)
+	}
+	if res.Overall.Count() != 200 {
+		t.Fatal("latency samples missing")
+	}
+	if res.ScratchCold != 0 {
+		t.Fatal("scratch cold start despite checkpoint")
+	}
+	if res.ColdForks == 0 {
+		t.Fatal("no restores happened")
+	}
+}
+
+func TestWarmReuseDominatesSteadyLoad(t *testing.T) {
+	po, _ := newPorter(t, 1<<30, cxlMech, "CXLfork")
+	// Sequential requests, each arriving after the previous finished.
+	res := po.Run(steadyTrace(100, 50*des.Millisecond))
+	if res.ColdForks > 3 {
+		t.Fatalf("%d cold forks on steady sequential load", res.ColdForks)
+	}
+	if res.WarmStarts < 95 {
+		t.Fatalf("warm starts = %d", res.WarmStarts)
+	}
+	// Warm latency ≈ warm exec time (no queueing).
+	if res.Overall.P50() > 15*des.Millisecond {
+		t.Fatalf("P50 = %v, want ≈10ms warm", res.Overall.P50())
+	}
+}
+
+func TestBurstSpawnsInstances(t *testing.T) {
+	po, _ := newPorter(t, 1<<30, cxlMech, "CXLfork")
+	// 20 simultaneous arrivals need ~20 instances.
+	res := po.Run(steadyTrace(20, 0))
+	if res.ColdForks < 15 {
+		t.Fatalf("cold forks = %d, want most of the burst", res.ColdForks)
+	}
+	if res.Completed != 20 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestScratchColdWithoutCheckpoint(t *testing.T) {
+	po, _ := newPorter(t, 1<<30, cxlMech, "CXLfork")
+	po.Store().Reclaim("tenant0", "Tiny")
+	res := po.Run(steadyTrace(5, des.Second))
+	if res.ScratchCold == 0 {
+		t.Fatal("no scratch cold starts after reclaim")
+	}
+	if res.Completed != 5 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+func TestMemoryPressureEvicts(t *testing.T) {
+	// Budget fits ~3 instances (1 MB each + ghosts): a 12-wide burst
+	// must evict or queue, and still complete everything.
+	po, _ := newPorter(t, 4<<20, cxlMech, "CXLfork")
+	res := po.Run(steadyTrace(60, 5*des.Millisecond))
+	if res.Completed != 60 {
+		t.Fatalf("completed %d of 60", res.Completed)
+	}
+}
+
+func TestCRIUIncompatibleWithGhosts(t *testing.T) {
+	po, c := newPorter(t, 1<<30, func(c *cluster.Cluster) rfork.Mechanism {
+		return criu.New(c.CXLFS)
+	}, "CRIU-CXL")
+	_ = c
+	res := po.Run(steadyTrace(10, 0))
+	if res.Completed != 10 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	// Every CRIU spawn pays container creation: P99 ≥ 130ms.
+	if res.Overall.P99() < 130*des.Millisecond {
+		t.Fatalf("P99 = %v, CRIU should pay container creation", res.Overall.P99())
+	}
+}
+
+func TestGhostsCutColdStartLatency(t *testing.T) {
+	burst := steadyTrace(4, 0)
+	poCXL, _ := newPorter(t, 1<<30, cxlMech, "CXLfork")
+	resCXL := poCXL.Run(burst)
+	poCRIU, _ := newPorter(t, 1<<30, func(c *cluster.Cluster) rfork.Mechanism {
+		return criu.New(c.CXLFS)
+	}, "CRIU-CXL")
+	resCRIU := poCRIU.Run(burst)
+	if resCXL.Overall.P99()*2 > resCRIU.Overall.P99() {
+		t.Fatalf("ghost cold start %v not ≪ CRIU %v", resCXL.Overall.P99(), resCRIU.Overall.P99())
+	}
+}
+
+func TestObjectStore(t *testing.T) {
+	p := params.Default()
+	p.NodeDRAMBytes = 256 << 20
+	p.CXLBytes = 256 << 20
+	c := cluster.New(p, 1)
+	mech := core.New(c.Dev)
+	spec := tinySpec()
+	faas.RegisterFiles(c.FS, p, spec)
+	if err := faas.WarmLibraries(c.Node(0), spec); err != nil {
+		t.Fatal(err)
+	}
+	in, err := faas.NewInstance(c.Node(0), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ColdInit(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := mech.Checkpoint(in.Task, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := porter.NewObjectStore()
+	st.Put("u", "fn", img)
+	if got, ok := st.Get("u", "fn"); !ok || got != img {
+		t.Fatal("get failed")
+	}
+	if _, ok := st.Get("u", "other"); ok {
+		t.Fatal("phantom entry")
+	}
+	if st.Len() != 1 {
+		t.Fatal("len wrong")
+	}
+	used := c.Dev.UsedBytes()
+	if used == 0 {
+		t.Fatal("checkpoint holds no device bytes")
+	}
+	if !st.Reclaim("u", "fn") {
+		t.Fatal("reclaim failed")
+	}
+	if c.Dev.UsedBytes() != 0 {
+		t.Fatal("reclaim did not free the device")
+	}
+	if st.Reclaim("u", "fn") {
+		t.Fatal("double reclaim succeeded")
+	}
+}
+
+func TestReclaimLargest(t *testing.T) {
+	p := params.Default()
+	p.NodeDRAMBytes = 512 << 20
+	p.CXLBytes = 512 << 20
+	c := cluster.New(p, 1)
+	mech := core.New(c.Dev)
+	st := porter.NewObjectStore()
+	sizes := map[string]int64{}
+	for i, mb := range []int64{4, 16, 8} {
+		spec := tinySpec()
+		spec.Name = []string{"small", "big", "mid"}[i]
+		spec.FootprintBytes = mb << 20
+		spec.LibBytes = spec.FootprintBytes / 4
+		faas.RegisterFiles(c.FS, p, spec)
+		if err := faas.WarmLibraries(c.Node(0), spec); err != nil {
+			t.Fatal(err)
+		}
+		in, err := faas.NewInstance(c.Node(0), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.ColdInit(); err != nil {
+			t.Fatal(err)
+		}
+		img, err := mech.Checkpoint(in.Task, "ck-"+spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Put("u", spec.Name, img)
+		sizes[spec.Name] = img.CXLBytes()
+		in.Exit()
+	}
+	freed := st.ReclaimLargest(sizes["big"])
+	if freed < sizes["big"] {
+		t.Fatalf("freed %d < %d", freed, sizes["big"])
+	}
+	if _, ok := st.Get("u", "big"); ok {
+		t.Fatal("largest not reclaimed first")
+	}
+	if _, ok := st.Get("u", "small"); !ok {
+		t.Fatal("small reclaimed unnecessarily")
+	}
+	st.Release()
+	if st.Len() != 0 {
+		t.Fatal("release incomplete")
+	}
+}

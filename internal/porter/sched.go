@@ -1,0 +1,442 @@
+package porter
+
+import (
+	"sort"
+
+	"cxlfork/internal/azure"
+	"cxlfork/internal/des"
+	"cxlfork/internal/metrics"
+	"cxlfork/internal/rfork"
+)
+
+// Run replays an arrival trace and returns latency and utilization
+// results. Event handlers never advance the clock directly; all costs
+// are expressed as scheduled durations, so concurrent requests overlap
+// correctly on the engine.
+func (p *Porter) Run(trace []azure.Request) Results {
+	eng := p.c.Eng
+	p.res = Results{
+		Overall:     metrics.NewLatencyRecorder(),
+		PerFunction: make(map[string]*metrics.LatencyRecorder),
+		MemGauge:    make(map[string]*metrics.Gauge),
+	}
+	for fn := range p.fns {
+		p.res.PerFunction[fn] = metrics.NewLatencyRecorder()
+	}
+	for _, n := range p.nodes {
+		p.res.MemGauge[n.os.Name] = &metrics.Gauge{}
+	}
+	base := eng.Now()
+	p.base = base
+	p.lastDone = base
+	p.window = 0
+	var last des.Time
+	for _, r := range trace {
+		r := r
+		eng.At(base+r.At, func() { p.arrive(r.Function) })
+		if r.At > last {
+			last = r.At
+		}
+	}
+	p.window = last
+
+	// Periodic A-bit reset on CXL checkpoints to re-estimate hot pages
+	// (§4.3, §5). Only checkpoints that expose the interface (CXLfork's)
+	// participate.
+	type aBitResetter interface{ ClearABits() int }
+	var resetTick func()
+	resetTick = func() {
+		if eng.Now() >= base+last {
+			return
+		}
+		for _, st := range p.fns {
+			if img, ok := p.store.Get(p.cfg.User, st.spec.Name); ok {
+				if ck, ok := img.(aBitResetter); ok {
+					ck.ClearABits()
+				}
+			}
+		}
+		eng.After(p.c.P.ABitResetPeriod, resetTick)
+	}
+	if p.cfg.DynamicTiering {
+		eng.After(p.c.P.ABitResetPeriod, resetTick)
+	}
+
+	p.observeMem()
+	eng.Run()
+	p.res.Duration = p.lastDone - base
+	return p.res
+}
+
+// reclaimCXLPressure drops checkpoints, largest first, when the CXL
+// device runs hot (§5: the porter "is responsible for reclaiming
+// checkpoints under CXL memory pressure"). Functions whose checkpoint
+// is reclaimed fall back to scratch cold starts until re-checkpointed.
+func (p *Porter) reclaimCXLPressure() {
+	dev := p.c.Dev
+	if dev.Utilization() < cxlHighWatermark {
+		return
+	}
+	target := dev.UsedBytes() - int64(float64(dev.CapacityBytes())*cxlLowWatermark)
+	freed := p.store.ReclaimLargest(target)
+	p.res.CkptReclaims += int(freed / int64(p.c.P.PageSize))
+}
+
+// CXL occupancy watermarks for checkpoint reclaim.
+const (
+	cxlHighWatermark = 0.90
+	cxlLowWatermark  = 0.75
+)
+
+// arrive handles one request arrival.
+func (p *Porter) arrive(fn string) {
+	p.reclaimCXLPressure()
+	req := &pending{fn: fn, arrived: p.c.Eng.Now()}
+	if inst := p.findIdle(fn); inst != nil {
+		p.serve(inst, req)
+		return
+	}
+	if p.trySpawn(fn, req) {
+		return
+	}
+	p.fns[fn].queue = append(p.fns[fn].queue, req)
+}
+
+// findIdle pops the most recently idled instance of fn (warmest caches).
+func (p *Porter) findIdle(fn string) *instance {
+	var best *instance
+	for _, n := range p.nodes {
+		list := n.idle[fn]
+		if len(list) == 0 {
+			continue
+		}
+		cand := list[len(list)-1]
+		if best == nil || cand.idleSince > best.idleSince {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	p.removeIdle(best)
+	return best
+}
+
+func (p *Porter) removeIdle(in *instance) {
+	list := in.node.idle[in.fn]
+	for i, x := range list {
+		if x == in {
+			in.node.idle[in.fn] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if in.hasExpire {
+		p.c.Eng.Cancel(in.expire)
+		in.hasExpire = false
+	}
+}
+
+// serve runs one warm invocation of req on inst.
+func (p *Porter) serve(inst *instance, req *pending) {
+	inst.state = instBusy
+	prof := p.profile(inst.fn, inst.policy)
+	dur := p.jitter(prof.WarmExec)
+	p.res.WarmStarts++
+	inst.node.cpu.Exec(dur, func(end des.Time) {
+		inst.warmRuns++
+		p.complete(inst, req, end)
+	})
+}
+
+// trySpawn starts a new instance of fn to serve req. It returns false
+// when neither memory nor checkpoints allow it right now.
+func (p *Porter) trySpawn(fn string, req *pending) bool {
+	st := p.fns[fn]
+	_, haveCkpt := p.store.Get(p.cfg.User, fn)
+
+	pol := st.policy
+	var prof Profile
+	var pages int
+	var dur des.Time
+	var remoteCopy des.Time
+	if haveCkpt {
+		prof = p.profile(fn, pol)
+		pages = prof.LocalPages
+		remoteCopy = p.jitter(prof.RemoteCopy)
+		dur = p.jitter(prof.Restore + prof.ColdExec - prof.RemoteCopy)
+	} else {
+		prof = p.profile(fn, rfork.MigrateOnWrite)
+		pages = prof.FootprintPages
+		dur = p.jitter(prof.ColdInit + prof.ColdInitExec)
+	}
+
+	node, useGhost := p.placeOn(fn, pages)
+	if node == nil {
+		return false
+	}
+	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
+	ownsCtr := false
+	if useGhost && haveCkpt {
+		node.ghosts[fn]--
+		dur += p.c.P.GhostContainerTrigger
+		p.replenishGhosts(node, fn)
+	} else {
+		// Fresh container: creation cost plus its fixed overhead.
+		dur += p.c.P.ContainerCreate
+		pages += ghostPages
+		ownsCtr = true
+	}
+	node.usedPages += pages
+	p.observeMem()
+
+	inst := &instance{fn: fn, node: node, policy: pol, pages: pages, ownsCtr: ownsCtr, state: instSpawning}
+	node.all[inst] = true
+	if haveCkpt {
+		p.res.ColdForks++
+	} else {
+		p.res.ScratchCold++
+	}
+	finish := func(end des.Time) {
+		inst.warmRuns++
+		p.complete(inst, req, end)
+	}
+	if remoteCopy > 0 {
+		// Pull the pages through the parent node's uplink first, then
+		// run the rest of the cold start on a local core.
+		p.parentUplink.Exec(remoteCopy, func(des.Time) {
+			node.cpu.Exec(dur, finish)
+		})
+	} else {
+		node.cpu.Exec(dur, finish)
+	}
+	return true
+}
+
+// replenishGhosts provisions a fresh ghost container in the background
+// (off the request critical path) to keep the per-function pool at its
+// configured size (§5 maintains "a few configured but empty containers
+// per function").
+func (p *Porter) replenishGhosts(node *nodeState, fn string) {
+	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
+	if node.ghosts[fn] >= p.cfg.GhostsPerFunction || node.freePages() < ghostPages {
+		return
+	}
+	p.c.Eng.After(p.c.P.ContainerCreate, func() {
+		if node.ghosts[fn] >= p.cfg.GhostsPerFunction || node.freePages() < ghostPages {
+			return
+		}
+		node.ghosts[fn]++
+		node.usedPages += ghostPages
+		p.observeMem()
+		p.pump()
+	})
+}
+
+// placeOn picks a node with a free ghost (preferred) and enough memory,
+// evicting idle instances if necessary. It returns (nil, false) when no
+// node can host the instance.
+func (p *Porter) placeOn(fn string, pages int) (*nodeState, bool) {
+	// Prefer nodes with a ghost for fn and room, least loaded first.
+	cands := append([]*nodeState(nil), p.nodes...)
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].cpu.Busy()+cands[i].cpu.QueueLen() < cands[j].cpu.Busy()+cands[j].cpu.QueueLen()
+	})
+	if p.ghostsCompatible() {
+		for _, n := range cands {
+			if n.ghosts[fn] > 0 && n.freePages() >= pages {
+				return n, true
+			}
+		}
+	}
+	for _, n := range cands {
+		if n.freePages() >= pages {
+			return n, false
+		}
+	}
+	// Evict idle instances to make room (fastest reclaim path; the
+	// keep-alive shortening handles the steady state, §5).
+	for _, n := range cands {
+		if p.evictFor(n, pages) {
+			if p.ghostsCompatible() && n.ghosts[fn] > 0 {
+				return n, true
+			}
+			return n, false
+		}
+	}
+	return nil, false
+}
+
+// evictFor evicts the oldest idle instances on n until pages fit.
+func (p *Porter) evictFor(n *nodeState, pages int) bool {
+	for n.freePages() < pages {
+		victim := p.oldestIdle(n)
+		if victim == nil {
+			return false
+		}
+		p.destroy(victim)
+		p.res.Evictions++
+	}
+	return true
+}
+
+func (p *Porter) oldestIdle(n *nodeState) *instance {
+	var oldest *instance
+	for _, list := range n.idle {
+		for _, in := range list {
+			if oldest == nil || in.idleSince < oldest.idleSince {
+				oldest = in
+			}
+		}
+	}
+	return oldest
+}
+
+// destroy tears an idle instance down, returning its sandbox to the
+// ghost pool (the container overhead stays allocated).
+func (p *Porter) destroy(in *instance) {
+	p.removeIdle(in)
+	in.state = instDead
+	delete(in.node.all, in)
+	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
+	release := in.pages
+	if p.ghostsCompatible() {
+		if in.ownsCtr {
+			// The sandbox overhead stays allocated and joins the pool.
+			release -= ghostPages
+		}
+		in.node.ghosts[in.fn]++
+	}
+	// CRIU-CXL containers are torn down entirely (in.pages includes the
+	// overhead for every CRIU spawn, since ownsCtr is always true).
+	in.node.usedPages -= release
+	p.observeMem()
+}
+
+// complete finishes a request on inst.
+func (p *Porter) complete(inst *instance, req *pending, end des.Time) {
+	lat := end - req.arrived
+	p.res.Overall.Record(lat)
+	p.res.PerFunction[inst.fn].Record(lat)
+	p.res.Completed++
+	if end > p.lastDone {
+		p.lastDone = end
+	}
+	if p.window > 0 && end <= p.base+p.window {
+		p.res.WindowCompleted++
+	}
+
+	st := p.fns[inst.fn]
+	if st.slo > 0 {
+		ratio := float64(lat) / float64(st.slo)
+		st.lateEWM = 0.7*st.lateEWM + 0.3*ratio
+		p.maybePromote(st)
+	}
+
+	// Fast path: keep serving this function's queue with the instance.
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		st.queue = append(st.queue[:0], st.queue[1:]...)
+		p.serve(inst, next)
+		return
+	}
+
+	inst.state = instIdle
+	inst.idleSince = end
+	inst.node.idle[inst.fn] = append(inst.node.idle[inst.fn], inst)
+	window := p.c.P.KeepAlive
+	if p.memPressure() {
+		window = p.c.P.KeepAliveShort
+	}
+	inst.expire = p.c.Eng.After(window, func() {
+		if inst.state == instIdle {
+			p.destroy(inst)
+			p.pump()
+		}
+	})
+	inst.hasExpire = true
+
+	p.pump()
+}
+
+// maybePromote switches a function from migrate-on-write to hybrid
+// tiering when its latency EWMA exceeds the SLO — unless local memory
+// utilization is above the HighMem threshold (§5).
+func (p *Porter) maybePromote(st *fnState) {
+	if !p.cfg.DynamicTiering || p.cfg.StaticPolicy != nil {
+		return
+	}
+	if st.policy != rfork.MigrateOnWrite || st.lateEWM <= 1 {
+		return
+	}
+	if p.memPressure() {
+		return
+	}
+	st.policy = rfork.HybridTiering
+	p.res.PolicyPromotions++
+	// Running and idle instances adopt the new policy too: the porter
+	// migrates their hot checkpointed pages to local memory over the
+	// following invocations (modelled as an immediate profile switch;
+	// the transition cost is a few MoA faults per instance).
+	for _, n := range p.nodes {
+		for in := range n.all {
+			if in.fn == st.spec.Name {
+				in.policy = rfork.HybridTiering
+			}
+		}
+	}
+}
+
+// memPressure reports whether mean node utilization exceeds HighMem.
+func (p *Porter) memPressure() bool {
+	var u float64
+	for _, n := range p.nodes {
+		u += n.utilization()
+	}
+	return u/float64(len(p.nodes)) >= p.c.P.HighMemFraction
+}
+
+// pump retries queued requests, oldest first, after capacity frees up.
+func (p *Porter) pump() {
+	for {
+		var st *fnState
+		for _, s := range p.fns {
+			if len(s.queue) == 0 {
+				continue
+			}
+			if st == nil || s.queue[0].arrived < st.queue[0].arrived {
+				st = s
+			}
+		}
+		if st == nil {
+			return
+		}
+		req := st.queue[0]
+		if inst := p.findIdle(req.fn); inst != nil {
+			st.queue = append(st.queue[:0], st.queue[1:]...)
+			p.serve(inst, req)
+			continue
+		}
+		if p.trySpawn(req.fn, req) {
+			st.queue = append(st.queue[:0], st.queue[1:]...)
+			continue
+		}
+		return
+	}
+}
+
+// observeMem samples node memory utilization into the gauges.
+func (p *Porter) observeMem() {
+	if p.res.MemGauge == nil {
+		return
+	}
+	for _, n := range p.nodes {
+		if g, ok := p.res.MemGauge[n.os.Name]; ok {
+			g.Observe(p.c.Eng.Now(), n.utilization())
+		}
+	}
+}
+
+// jitter multiplies a duration by U[0.9, 1.1) for realistic spread.
+func (p *Porter) jitter(d des.Time) des.Time {
+	return des.Time(float64(d) * (0.9 + 0.2*p.rng.Float64()))
+}

@@ -1,0 +1,96 @@
+package porter
+
+import (
+	"sort"
+
+	"cxlfork/internal/rfork"
+)
+
+// ObjectStore is CXLporter's distributed store of checkpoints on the
+// CXL fabric (§5): it maps <user, function> tuples to checkpoint IDs
+// (CIDs) of CXL-stored checkpoints. The store holds one reference on
+// every registered image and is responsible for reclaiming checkpoints
+// under CXL memory pressure.
+type ObjectStore struct {
+	entries map[storeKey]rfork.Image
+}
+
+type storeKey struct {
+	user, function string
+}
+
+// NewObjectStore returns an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{entries: make(map[storeKey]rfork.Image)}
+}
+
+// Put registers an image under <user, function>, replacing (and
+// releasing) any previous entry. The store takes ownership of the
+// caller's reference.
+func (s *ObjectStore) Put(user, function string, img rfork.Image) {
+	k := storeKey{user, function}
+	if old, ok := s.entries[k]; ok {
+		old.Release()
+	}
+	s.entries[k] = img
+}
+
+// Get queries the CID for <user, function>.
+func (s *ObjectStore) Get(user, function string) (rfork.Image, bool) {
+	img, ok := s.entries[storeKey{user, function}]
+	return img, ok
+}
+
+// Len returns the number of registered checkpoints.
+func (s *ObjectStore) Len() int { return len(s.entries) }
+
+// Reclaim drops the checkpoint for <user, function>, releasing the
+// store's reference (live clones keep theirs).
+func (s *ObjectStore) Reclaim(user, function string) bool {
+	k := storeKey{user, function}
+	img, ok := s.entries[k]
+	if !ok {
+		return false
+	}
+	img.Release()
+	delete(s.entries, k)
+	return true
+}
+
+// ReclaimLargest drops checkpoints, largest CXL footprint first, until
+// freed bytes reach the target. It returns the bytes freed (counting
+// each image's full device footprint; actual reclaim completes when the
+// last clone exits).
+func (s *ObjectStore) ReclaimLargest(target int64) int64 {
+	type cand struct {
+		k    storeKey
+		size int64
+	}
+	var cands []cand
+	for k, img := range s.entries {
+		cands = append(cands, cand{k, img.CXLBytes()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].size != cands[j].size {
+			return cands[i].size > cands[j].size
+		}
+		return cands[i].k.function < cands[j].k.function
+	})
+	var freed int64
+	for _, c := range cands {
+		if freed >= target {
+			break
+		}
+		s.Reclaim(c.k.user, c.k.function)
+		freed += c.size
+	}
+	return freed
+}
+
+// Release drops every entry (experiment teardown).
+func (s *ObjectStore) Release() {
+	for k, img := range s.entries {
+		img.Release()
+		delete(s.entries, k)
+	}
+}

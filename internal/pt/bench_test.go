@@ -1,0 +1,88 @@
+package pt
+
+import "testing"
+
+func BenchmarkSet(b *testing.B) {
+	tr := NewTree()
+	for i := 0; i < b.N; i++ {
+		va := VirtAddr(uint64(i%(1<<20)) << PageShift)
+		tr.Set(va, PTE{Flags: Present, PFN: int32(i)})
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := NewTree()
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		tr.Set(VirtAddr(i)<<PageShift, PTE{Flags: Present, PFN: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Lookup(VirtAddr(i%n) << PageShift); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkAttachLeaf(b *testing.B) {
+	leaf := &Leaf{InCXL: true, Protected: true}
+	for i := range leaf.PTEs {
+		leaf.PTEs[i] = PTE{Flags: Present | OnCXL | CoW, PFN: int32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTree()
+		for j := 0; j < 64; j++ {
+			if err := tr.AttachLeaf(VirtAddr(j)*LeafSpan, leaf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkLeafBreak(b *testing.B) {
+	leaf := &Leaf{InCXL: true, Protected: true}
+	for i := range leaf.PTEs {
+		leaf.PTEs[i] = PTE{Flags: Present | OnCXL | CoW, PFN: int32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTree()
+		tr.AttachLeaf(0, leaf)
+		res := tr.Set(0, PTE{Flags: Present | Writable, PFN: 1})
+		if !res.BrokeLeaf {
+			b.Fatal("no break")
+		}
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	tr := NewTree()
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		tr.Set(VirtAddr(i)<<PageShift, PTE{Flags: Present, PFN: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.Walk(func(VirtAddr, *Leaf, int) { count++ })
+		if count != n {
+			b.Fatal("walk miscount")
+		}
+	}
+}
+
+func BenchmarkClearABits(b *testing.B) {
+	tr := NewTree()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Set(VirtAddr(i)<<PageShift, PTE{Flags: Present, PFN: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			tr.MarkAccessed(VirtAddr(j) << PageShift)
+		}
+		tr.ClearABits()
+	}
+}

@@ -1,0 +1,28 @@
+package rfork
+
+import "testing"
+
+// FuzzDecodeGlobalState checks the global-state decoder never panics on
+// arbitrary input — a corrupted checkpoint must surface as an error.
+func FuzzDecodeGlobalState(f *testing.F) {
+	gs := GlobalState{
+		FDs:    []FDRecord{{Num: 3, Path: "/x", Perm: 0o644}},
+		Mounts: []string{"/"},
+		PIDNS:  "pidns",
+	}
+	f.Add(gs.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeGlobalState(data)
+	})
+}
+
+// FuzzDecodeVMA checks the VMA record decoder likewise.
+func FuzzDecodeVMA(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0x02, 0x10, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeVMA(data)
+	})
+}

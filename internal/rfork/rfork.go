@@ -1,0 +1,87 @@
+// Package rfork defines the remote-fork mechanism interface shared by
+// the CRIU-CXL and Mitosis-CXL baselines and by CXLfork itself, so the
+// experiment drivers and the CXLporter autoscaler can treat them
+// uniformly (paper §6.2 evaluates all three behind the same
+// checkpoint/restore interface).
+package rfork
+
+import (
+	"cxlfork/internal/kernel"
+)
+
+// Policy selects how CXLfork tiers checkpointed read-only state between
+// CXL and local memory (paper §4.3). The baselines ignore it: CRIU
+// always copies everything local; Mitosis is migrate-on-access by
+// construction.
+type Policy int
+
+// Tiering policies.
+const (
+	// MigrateOnWrite maps checkpointed pages from CXL read-only and
+	// copies to local memory only on stores (CXLfork default).
+	MigrateOnWrite Policy = iota
+	// MigrateOnAccess copies pages to local memory on first access.
+	MigrateOnAccess
+	// HybridTiering copies pages whose checkpointed Accessed bit (or
+	// UserHot bit) is set; cold pages are mapped from CXL directly.
+	HybridTiering
+)
+
+var policyNames = [...]string{"MoW", "MoA", "HT"}
+
+func (p Policy) String() string { return policyNames[p] }
+
+// Options tunes a restore.
+type Options struct {
+	// Policy is the tiering policy (CXLfork only).
+	Policy Policy
+	// NoDirtyPrefetch disables the opportunistic copy of
+	// checkpoint-dirty pages after restore (ablation; default on,
+	// §4.2.1).
+	NoDirtyPrefetch bool
+	// NaivePTCopy restores page tables by copying every checkpointed
+	// leaf to local memory instead of attaching (ablation, §4.2).
+	NaivePTCopy bool
+	// SyncHotPrefetch synchronously prefetches A-bit pages during
+	// restore under hybrid tiering (the design §4.3 evaluates and
+	// rejects; ablation).
+	SyncHotPrefetch bool
+}
+
+// Image is a mechanism-specific checkpoint. Images are reference
+// counted: the object store holds one reference and every live clone
+// holds one; Release drops a reference and reclaims storage at zero.
+type Image interface {
+	// ID is the checkpoint identifier (the CID in CXLporter's store).
+	ID() string
+	// Mechanism names the creating mechanism.
+	Mechanism() string
+	// CXLBytes is the CXL device capacity the image holds.
+	CXLBytes() int64
+	// LocalBytes is parent-node local DRAM the image holds (Mitosis'
+	// shadow copy; zero for CRIU-CXL and CXLfork).
+	LocalBytes() int64
+	// Pages is the number of checkpointed data pages.
+	Pages() int
+	// Retain adds a reference.
+	Retain()
+	// Release drops a reference, reclaiming at zero.
+	Release()
+	// Refs returns the current reference count.
+	Refs() int
+}
+
+// Mechanism checkpoints a process and restores clones from the image.
+// Both operations advance the node's virtual clock by their cost; the
+// caller measures latency as a clock delta.
+type Mechanism interface {
+	// Name returns the mechanism name as used in the paper's figures.
+	Name() string
+	// Checkpoint captures parent's state under the given checkpoint ID.
+	// The returned image has one reference owned by the caller.
+	Checkpoint(parent *kernel.Task, id string) (Image, error)
+	// Restore populates child (a fresh empty task on any node) from the
+	// image. The restored child holds an image reference released at
+	// task exit.
+	Restore(child *kernel.Task, img Image, opts Options) error
+}

@@ -1,0 +1,105 @@
+package rfork
+
+import (
+	"cxlfork/internal/pt"
+	"cxlfork/internal/vma"
+	"cxlfork/internal/wire"
+)
+
+// VMA record field tags.
+const (
+	vmaFieldID    = 1
+	vmaFieldStart = 2
+	vmaFieldEnd   = 3
+	vmaFieldProt  = 4
+	vmaFieldKind  = 5
+	vmaFieldPath  = 6
+	vmaFieldOff   = 7
+	vmaFieldName  = 8
+)
+
+// EncodeVMA serializes one VMA record (CRIU images and Mitosis' OS-state
+// transfer both describe the address-space layout this way).
+func EncodeVMA(v vma.VMA) []byte {
+	e := wire.NewEncoder()
+	e.PutInt(vmaFieldID, int64(v.ID))
+	e.PutUint(vmaFieldStart, uint64(v.Start))
+	e.PutUint(vmaFieldEnd, uint64(v.End))
+	e.PutUint(vmaFieldProt, uint64(v.Prot))
+	e.PutUint(vmaFieldKind, uint64(v.Kind))
+	if v.Kind == vma.FilePrivate {
+		e.PutString(vmaFieldPath, v.Path)
+		e.PutInt(vmaFieldOff, v.FileOff)
+	}
+	if v.Name != "" {
+		e.PutString(vmaFieldName, v.Name)
+	}
+	return e.Bytes()
+}
+
+// DecodeVMA parses one VMA record.
+func DecodeVMA(b []byte) (vma.VMA, error) {
+	var v vma.VMA
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return v, err
+		}
+		switch field {
+		case vmaFieldID:
+			x, err := d.Int()
+			if err != nil {
+				return v, err
+			}
+			v.ID = int(x)
+		case vmaFieldStart:
+			x, err := d.Uint()
+			if err != nil {
+				return v, err
+			}
+			v.Start = pt.VirtAddr(x)
+		case vmaFieldEnd:
+			x, err := d.Uint()
+			if err != nil {
+				return v, err
+			}
+			v.End = pt.VirtAddr(x)
+		case vmaFieldProt:
+			x, err := d.Uint()
+			if err != nil {
+				return v, err
+			}
+			v.Prot = vma.Prot(x)
+		case vmaFieldKind:
+			x, err := d.Uint()
+			if err != nil {
+				return v, err
+			}
+			v.Kind = vma.Kind(x)
+		case vmaFieldPath:
+			s, err := d.String()
+			if err != nil {
+				return v, err
+			}
+			v.Path = s
+		case vmaFieldOff:
+			x, err := d.Int()
+			if err != nil {
+				return v, err
+			}
+			v.FileOff = x
+		case vmaFieldName:
+			s, err := d.String()
+			if err != nil {
+				return v, err
+			}
+			v.Name = s
+		default:
+			if err := d.Skip(wt); err != nil {
+				return v, err
+			}
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,163 @@
+package rforktest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/core"
+	"cxlfork/internal/criu"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/mitosis"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/vma"
+)
+
+// buildRandomParent creates a parent with a randomized address space:
+// a random number of file and anonymous VMAs with random sizes, random
+// population (some pages written, some only read, some untouched), and
+// random descriptors.
+func buildRandomParent(t *testing.T, c *cluster.Cluster, rng *rand.Rand) (*kernel.Task, []pt.VirtAddr) {
+	t.Helper()
+	o := c.Node(0)
+	parent := o.NewTask("rand-parent")
+	var touched []pt.VirtAddr
+
+	// File mappings.
+	nFiles := 1 + rng.Intn(4)
+	va := pt.VirtAddr(0x7f00_0000_0000)
+	for i := 0; i < nFiles; i++ {
+		pages := 1 + rng.Intn(24)
+		path := fmt.Sprintf("/rand/lib%d.so", i)
+		c.FS.Create(path, int64(pages*o.P.PageSize))
+		// Warm on every node so page-cache population does not show up
+		// as a memory delta on the restore node.
+		if err := c.WarmAll(path); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parent.MM.Mmap(vma.VMA{
+			Start: va, End: va + pt.VirtAddr(pages<<pt.PageShift),
+			Prot: vma.Read | vma.Exec, Kind: vma.FilePrivate, Path: path,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < pages; j++ {
+			if rng.Intn(3) > 0 { // touch ~2/3 of file pages
+				addr := va + pt.VirtAddr(j<<pt.PageShift)
+				mustAccess(t, parent, addr, false)
+				touched = append(touched, addr)
+			}
+		}
+		va += pt.VirtAddr((pages + 4) << pt.PageShift)
+	}
+
+	// Anonymous mappings.
+	nAnon := 1 + rng.Intn(5)
+	va = pt.VirtAddr(0x1000_0000)
+	for i := 0; i < nAnon; i++ {
+		pages := 1 + rng.Intn(80)
+		if _, err := parent.MM.Mmap(vma.VMA{
+			Start: va, End: va + pt.VirtAddr(pages<<pt.PageShift),
+			Prot: vma.Read | vma.Write, Kind: vma.Anon, Name: fmt.Sprintf("[anon%d]", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < pages; j++ {
+			switch rng.Intn(4) {
+			case 0: // untouched
+			case 1: // read-only touch (zero page)
+				addr := va + pt.VirtAddr(j<<pt.PageShift)
+				mustAccess(t, parent, addr, false)
+				touched = append(touched, addr)
+			default: // written
+				addr := va + pt.VirtAddr(j<<pt.PageShift)
+				mustAccess(t, parent, addr, true)
+				touched = append(touched, addr)
+			}
+		}
+		va += pt.VirtAddr((pages + 8) << pt.PageShift)
+	}
+
+	for i := 0; i < rng.Intn(6); i++ {
+		parent.FDs.Open(kernel.FDSocket, fmt.Sprintf("sock:%d", i), 0o600)
+	}
+	parent.Regs.IP = rng.Uint64()
+	return parent, touched
+}
+
+// TestPropertyCloneEquivalence is the repository's strongest
+// correctness check: for random address spaces, every mechanism's
+// restore must reproduce the parent's exact memory contents and global
+// state on another node, under every tiering policy, with no frame
+// leaks after teardown.
+func TestPropertyCloneEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c := NewCluster(t)
+			parent, _ := buildRandomParent(t, c, rng)
+			snap := SnapshotTokens(parent)
+
+			type variant struct {
+				name string
+				mech rfork.Mechanism
+				opts rfork.Options
+			}
+			variants := []variant{
+				{"criu", criu.New(c.CXLFS), rfork.Options{}},
+				{"mitosis", mitosis.New(), rfork.Options{}},
+				{"cxlfork-mow", core.New(c.Dev), rfork.Options{}},
+				{"cxlfork-moa", core.New(c.Dev), rfork.Options{Policy: rfork.MigrateOnAccess}},
+				{"cxlfork-ht", core.New(c.Dev), rfork.Options{Policy: rfork.HybridTiering}},
+				{"cxlfork-naive", core.New(c.Dev), rfork.Options{NaivePTCopy: true}},
+			}
+			node1 := c.Node(1)
+			for _, v := range variants {
+				usedBefore := node1.Mem.UsedPages()
+				img, err := v.mech.Checkpoint(parent, "prop-"+v.name)
+				if err != nil {
+					t.Fatalf("%s checkpoint: %v", v.name, err)
+				}
+				child := node1.NewTask("clone-" + v.name)
+				if err := v.mech.Restore(child, img, v.opts); err != nil {
+					t.Fatalf("%s restore: %v", v.name, err)
+				}
+				VerifyCloneContent(t, child, snap)
+				if err := child.MM.PT.Validate(); err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if child.FDs.Len() != parent.FDs.Len() {
+					t.Fatalf("%s: fds %d vs %d", v.name, child.FDs.Len(), parent.FDs.Len())
+				}
+				if child.Regs.IP != parent.Regs.IP {
+					t.Fatalf("%s: registers lost", v.name)
+				}
+				// Writes in the clone never reach the parent.
+				for addr := range snap {
+					if err := child.MM.Access(addr, true); err != nil {
+						// Read-only file VMAs reject stores; fine.
+						continue
+					}
+				}
+				for addr, want := range snap {
+					got, ok := PageToken(parent, addr)
+					if !ok || got != want {
+						t.Fatalf("%s: parent content changed at %#x", v.name, uint64(addr))
+					}
+				}
+				node1.Exit(child)
+				img.Release()
+				if got := node1.Mem.UsedPages(); got != usedBefore {
+					t.Fatalf("%s: leaked %d pages", v.name, got-usedBefore)
+				}
+			}
+			// After releasing every checkpoint, the device is empty.
+			if c.Dev.UsedBytes() != 0 {
+				t.Fatalf("device retains %d bytes", c.Dev.UsedBytes())
+			}
+		})
+	}
+}

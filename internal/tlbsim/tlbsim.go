@@ -1,0 +1,63 @@
+// Package tlbsim models the per-node TLB and TLB-coherence costs.
+//
+// The TLB matters to this reproduction in two ways. First, CoW faults
+// that downgrade a previously-valid mapping pay a TLB shootdown (~500 ns
+// of the 2.5 µs CXL-CoW fault, paper §4.2.1) — that constant lives in
+// params and is charged by the kernel's fault paths; this package counts
+// the events. Second, page-table walks on TLB misses dereference
+// page-table memory; the kernel charges a (cache-resident) walk cost per
+// miss.
+package tlbsim
+
+import "cxlfork/internal/cachesim"
+
+// TLB is an exact-LRU translation cache keyed by (space, virtual page)
+// — TLBs are virtually indexed, unlike the physically-indexed LLC.
+type TLB struct {
+	lru *cachesim.PageLRU
+
+	// Shootdowns counts invalidations driven by PTE downgrades.
+	Shootdowns int64
+}
+
+// New returns a TLB with the given entry capacity.
+func New(entries int) *TLB {
+	return &TLB{lru: cachesim.NewPageLRU(entries)}
+}
+
+// Capacity returns the entry capacity.
+func (t *TLB) Capacity() int { return t.lru.Capacity() }
+
+// Len returns the number of live entries.
+func (t *TLB) Len() int { return t.lru.Len() }
+
+// Hits returns the hit count.
+func (t *TLB) Hits() int64 { return t.lru.Hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() int64 { return t.lru.Misses }
+
+// Access looks up the translation for key, returning true on hit. On a
+// miss the translation is installed (the caller charges the walk).
+func (t *TLB) Access(key uint64) bool { return t.lru.Access(key) }
+
+// Invalidate removes one translation, counting a shootdown if present.
+func (t *TLB) Invalidate(key uint64) {
+	if t.lru.Contains(key) {
+		t.lru.Invalidate(key)
+		t.Shootdowns++
+	}
+}
+
+// Flush drops all entries (address-space teardown).
+func (t *TLB) Flush() {
+	hits, misses := t.lru.Hits, t.lru.Misses
+	t.lru.Reset()
+	t.lru.Hits, t.lru.Misses = hits, misses
+}
+
+// Reset flushes and clears counters.
+func (t *TLB) Reset() {
+	t.lru.Reset()
+	t.Shootdowns = 0
+}

@@ -1,0 +1,66 @@
+package tlbsim
+
+import "testing"
+
+func TestAccessAndMiss(t *testing.T) {
+	tlb := New(4)
+	if tlb.Access(1) {
+		t.Fatal("cold hit")
+	}
+	if !tlb.Access(1) {
+		t.Fatal("warm miss")
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits(), tlb.Misses())
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tlb := New(2)
+	tlb.Access(1)
+	tlb.Access(2)
+	tlb.Access(3) // evicts 1
+	if tlb.Access(1) {
+		t.Fatal("evicted translation hit")
+	}
+	if tlb.Len() != 2 {
+		t.Fatalf("len = %d", tlb.Len())
+	}
+}
+
+func TestShootdownCounting(t *testing.T) {
+	tlb := New(4)
+	tlb.Access(1)
+	tlb.Invalidate(1)
+	tlb.Invalidate(1) // absent: not a shootdown
+	tlb.Invalidate(9) // absent
+	if tlb.Shootdowns != 1 {
+		t.Fatalf("shootdowns = %d", tlb.Shootdowns)
+	}
+	if tlb.Access(1) {
+		t.Fatal("invalidated translation hit")
+	}
+}
+
+func TestFlushKeepsCounters(t *testing.T) {
+	tlb := New(4)
+	tlb.Access(1)
+	tlb.Access(1)
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatal("flush cleared counters")
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	tlb := New(4)
+	tlb.Access(1)
+	tlb.Invalidate(1)
+	tlb.Reset()
+	if tlb.Len() != 0 || tlb.Hits() != 0 || tlb.Misses() != 0 || tlb.Shootdowns != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,36 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder()
+		e.PutUint(1, uint64(i))
+		e.PutString(2, "/runtime/Bert/lib042.so")
+		e.PutInt(3, -12345)
+		e.PutBool(4, true)
+		_ = e.Bytes()
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	e := NewEncoder()
+	e.PutUint(1, 42)
+	e.PutString(2, "/runtime/Bert/lib042.so")
+	e.PutInt(3, -12345)
+	e.PutBool(4, true)
+	buf := e.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		for d.More() {
+			_, wt, err := d.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Skip(wt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package wire
+
+import "testing"
+
+// FuzzDecoder exercises the decoder against arbitrary byte streams: it
+// must never panic or loop, only return data or ErrCorrupt.
+func FuzzDecoder(f *testing.F) {
+	seed := NewEncoder()
+	seed.PutUint(1, 42)
+	seed.PutString(2, "hello")
+	seed.PutInt(3, -7)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80})
+	f.Add([]byte{0x0a, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		for i := 0; i < 10_000 && d.More(); i++ {
+			_, wt, err := d.Next()
+			if err != nil {
+				return
+			}
+			if err := d.Skip(wt); err != nil {
+				return
+			}
+		}
+	})
+}

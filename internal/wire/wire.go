@@ -1,0 +1,181 @@
+// Package wire implements a compact protobuf-style binary encoding:
+// varint scalars and length-delimited fields addressed by numeric tags.
+// The CRIU-CXL baseline serializes its checkpoint images with it
+// (standing in for CRIU's real Protocol Buffers images), and CXLfork
+// uses it for the small amount of global state it must still serialize
+// (file paths, permissions, mounts, PID namespaces — paper §4.1).
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire types, mirroring protobuf.
+const (
+	typeVarint = 0
+	typeBytes  = 2
+)
+
+// ErrCorrupt is returned when a buffer cannot be decoded.
+var ErrCorrupt = errors.New("wire: corrupt buffer")
+
+// Encoder appends tagged fields to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded size so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) uvarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+func (e *Encoder) key(field, wt int) {
+	e.uvarint(uint64(field)<<3 | uint64(wt))
+}
+
+// PutUint encodes an unsigned field.
+func (e *Encoder) PutUint(field int, v uint64) {
+	e.key(field, typeVarint)
+	e.uvarint(v)
+}
+
+// PutInt encodes a signed field with zigzag.
+func (e *Encoder) PutInt(field int, v int64) {
+	e.PutUint(field, uint64(v<<1)^uint64(v>>63))
+}
+
+// PutBool encodes a boolean field.
+func (e *Encoder) PutBool(field int, v bool) {
+	var u uint64
+	if v {
+		u = 1
+	}
+	e.PutUint(field, u)
+}
+
+// PutBytes encodes a length-delimited field.
+func (e *Encoder) PutBytes(field int, b []byte) {
+	e.key(field, typeBytes)
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutString encodes a string field.
+func (e *Encoder) PutString(field int, s string) {
+	e.key(field, typeBytes)
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutMessage encodes a nested message field.
+func (e *Encoder) PutMessage(field int, m *Encoder) {
+	e.PutBytes(field, m.Bytes())
+}
+
+// Decoder reads tagged fields from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// More reports whether any bytes remain.
+func (d *Decoder) More() bool { return d.off < len(d.buf) }
+
+func (d *Decoder) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.off >= len(d.buf) {
+			return 0, ErrCorrupt
+		}
+		b := d.buf[d.off]
+		d.off++
+		if shift >= 64 {
+			return 0, ErrCorrupt
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+// Next reads the next field key. It returns the field number and wire
+// type.
+func (d *Decoder) Next() (field int, wt int, err error) {
+	k, err := d.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(k >> 3), int(k & 7), nil
+}
+
+// Uint reads a varint payload.
+func (d *Decoder) Uint() (uint64, error) { return d.uvarint() }
+
+// Int reads a zigzag varint payload.
+func (d *Decoder) Int() (int64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// Bool reads a boolean payload.
+func (d *Decoder) Bool() (bool, error) {
+	u, err := d.uvarint()
+	return u != 0, err
+}
+
+// Bytes reads a length-delimited payload. The returned slice aliases the
+// input buffer.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		return nil, ErrCorrupt
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+// String reads a string payload.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	return string(b), err
+}
+
+// Skip discards a payload of the given wire type.
+func (d *Decoder) Skip(wt int) error {
+	switch wt {
+	case typeVarint:
+		_, err := d.uvarint()
+		return err
+	case typeBytes:
+		_, err := d.Bytes()
+		return err
+	default:
+		return fmt.Errorf("%w: unknown wire type %d", ErrCorrupt, wt)
+	}
+}

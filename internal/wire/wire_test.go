@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint(1, 0)
+	e.PutUint(2, 1<<63)
+	e.PutInt(3, -12345)
+	e.PutBool(4, true)
+	e.PutBool(5, false)
+
+	d := NewDecoder(e.Bytes())
+	checkUint := func(wantField int, want uint64) {
+		f, wt, err := d.Next()
+		if err != nil || f != wantField || wt != 0 {
+			t.Fatalf("Next = %d,%d,%v want field %d", f, wt, err, wantField)
+		}
+		v, err := d.Uint()
+		if err != nil || v != want {
+			t.Fatalf("field %d = %d, want %d", f, v, want)
+		}
+	}
+	checkUint(1, 0)
+	checkUint(2, 1<<63)
+	f, _, _ := d.Next()
+	v, err := d.Int()
+	if err != nil || f != 3 || v != -12345 {
+		t.Fatalf("int field = %d,%v", v, err)
+	}
+	d.Next()
+	if b, _ := d.Bool(); !b {
+		t.Fatal("bool true lost")
+	}
+	d.Next()
+	if b, _ := d.Bool(); b {
+		t.Fatal("bool false lost")
+	}
+	if d.More() {
+		t.Fatal("trailing data")
+	}
+}
+
+func TestBytesStringRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.PutString(1, "hello, 世界")
+	e.PutBytes(2, []byte{0, 1, 2, 255})
+	e.PutString(3, "")
+
+	d := NewDecoder(e.Bytes())
+	d.Next()
+	if s, _ := d.String(); s != "hello, 世界" {
+		t.Fatalf("string = %q", s)
+	}
+	d.Next()
+	if b, _ := d.Bytes(); !bytes.Equal(b, []byte{0, 1, 2, 255}) {
+		t.Fatalf("bytes = %v", b)
+	}
+	d.Next()
+	if s, _ := d.String(); s != "" {
+		t.Fatalf("empty string = %q", s)
+	}
+}
+
+func TestNestedMessage(t *testing.T) {
+	inner := NewEncoder()
+	inner.PutUint(1, 7)
+	outer := NewEncoder()
+	outer.PutMessage(5, inner)
+
+	d := NewDecoder(outer.Bytes())
+	f, _, _ := d.Next()
+	if f != 5 {
+		t.Fatalf("field = %d", f)
+	}
+	b, _ := d.Bytes()
+	di := NewDecoder(b)
+	di.Next()
+	if v, _ := di.Uint(); v != 7 {
+		t.Fatalf("nested = %d", v)
+	}
+}
+
+func TestSkipUnknownFields(t *testing.T) {
+	e := NewEncoder()
+	e.PutUint(1, 10)
+	e.PutString(2, "skip me")
+	e.PutUint(3, 20)
+
+	d := NewDecoder(e.Bytes())
+	var got []uint64
+	for d.More() {
+		f, wt, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == 2 {
+			if err := d.Skip(wt); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		v, _ := d.Uint()
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestCorruptTruncated(t *testing.T) {
+	e := NewEncoder()
+	e.PutString(1, "some payload")
+	b := e.Bytes()
+	d := NewDecoder(b[:len(b)-3])
+	d.Next()
+	if _, err := d.String(); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+}
+
+func TestCorruptVarint(t *testing.T) {
+	// 11 continuation bytes overflow the 64-bit accumulator.
+	bad := bytes.Repeat([]byte{0x80}, 11)
+	d := NewDecoder(bad)
+	if _, _, err := d.Next(); err == nil {
+		t.Fatal("overlong varint accepted")
+	}
+}
+
+func TestIntZigzagProperty(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewEncoder()
+		e.PutInt(1, v)
+		d := NewDecoder(e.Bytes())
+		d.Next()
+		got, err := d.Int()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		e := NewEncoder()
+		e.PutUint(1, v)
+		d := NewDecoder(e.Bytes())
+		d.Next()
+		got, err := d.Uint()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedStreamProperty round-trips a random field sequence.
+func TestMixedStreamProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type rec struct {
+			field int
+			str   bool
+			u     uint64
+			s     string
+		}
+		var recs []rec
+		e := NewEncoder()
+		for i := 0; i < 50; i++ {
+			r := rec{field: 1 + rng.Intn(30), str: rng.Intn(2) == 0}
+			if r.str {
+				buf := make([]byte, rng.Intn(40))
+				rng.Read(buf)
+				r.s = string(buf)
+				e.PutString(r.field, r.s)
+			} else {
+				r.u = rng.Uint64()
+				e.PutUint(r.field, r.u)
+			}
+			recs = append(recs, r)
+		}
+		d := NewDecoder(e.Bytes())
+		for _, r := range recs {
+			field, _, err := d.Next()
+			if err != nil || field != r.field {
+				return false
+			}
+			if r.str {
+				s, err := d.String()
+				if err != nil || s != r.s {
+					return false
+				}
+			} else {
+				u, err := d.Uint()
+				if err != nil || u != r.u {
+					return false
+				}
+			}
+		}
+		return !d.More()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package workflow implements the FaaS-workflow extension the paper's
+// discussion sketches (§8): multi-function applications whose stages
+// pass intermediate payloads to each other. Two transports are modelled
+// on the real substrate:
+//
+//   - ByValue: each hop stages the payload through CXL memory and the
+//     consumer copies it into local DRAM before computing on it — the
+//     serialization-free but copy-ful baseline.
+//
+//   - ByReference: the producer publishes the payload once into a
+//     shared CXL mapping and every downstream stage maps the same
+//     frames read-only, zero-copy — "extending CXLfork to provide
+//     shared-memory semantics over CXL for communication".
+//
+// The chain driver places consecutive stages on alternating nodes, so
+// every hop is a genuine cross-node transfer.
+package workflow
+
+import (
+	"fmt"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/des"
+	"cxlfork/internal/memsim"
+	"cxlfork/internal/pt"
+	"cxlfork/internal/vma"
+)
+
+// Transport selects how payloads move between stages.
+type Transport int
+
+// Transports.
+const (
+	// ByValue copies the payload into each consumer's local memory.
+	ByValue Transport = iota
+	// ByReference shares the payload via CXL mappings, zero-copy.
+	ByReference
+)
+
+func (t Transport) String() string {
+	if t == ByReference {
+		return "by-reference"
+	}
+	return "by-value"
+}
+
+// payloadBase is where stages map incoming payloads.
+const payloadBase = pt.VirtAddr(0x5_0000_0000)
+
+// Result summarizes one chain execution.
+type Result struct {
+	Transport Transport
+	Stages    int
+	Pages     int
+	// Latency is end-to-end chain time (payload handoffs + per-stage
+	// payload scans; stage compute excluded to isolate communication).
+	Latency des.Time
+	// LocalPagesCopied counts pages landed in node-local DRAM.
+	LocalPagesCopied int
+	// FabricBytes is CXL read+write traffic.
+	FabricBytes int64
+}
+
+// RunChain executes an n-stage chain over the cluster with a payload of
+// the given page count, alternating stages across nodes.
+func RunChain(c *cluster.Cluster, stages, payloadPages int, tr Transport) (Result, error) {
+	if stages < 2 {
+		return Result{}, fmt.Errorf("workflow: need at least 2 stages")
+	}
+	res := Result{Transport: tr, Stages: stages, Pages: payloadPages}
+	readBefore, writeBefore := c.Dev.ReadBytes, c.Dev.WriteBytes
+	var localBefore int64
+	for _, n := range c.Nodes {
+		localBefore += int64(n.Mem.UsedPages())
+	}
+	start := c.Eng.Now()
+
+	// Stage 0 produces the payload.
+	producer := c.Node(0).NewTask("stage0")
+	defer c.Node(0).Exit(producer)
+	_, pfns, err := producer.MM.MmapShared(payloadBase, payloadPages, "[payload]")
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < payloadPages; i++ {
+		if err := producer.MM.Publish(payloadBase+pt.VirtAddr(i<<pt.PageShift), memsim.NewToken()); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Each downstream stage consumes the previous payload and (for the
+	// middle stages) republishes a result of the same size.
+	prevPFNs := pfns
+	for s := 1; s < stages; s++ {
+		node := c.Node(s % len(c.Nodes))
+		task := node.NewTask(fmt.Sprintf("stage%d", s))
+
+		switch tr {
+		case ByReference:
+			if _, err := task.MM.MapSharedFrames(payloadBase, prevPFNs, "[payload-in]"); err != nil {
+				return Result{}, err
+			}
+			// Scan the payload straight from CXL (cacheable).
+			for i := 0; i < payloadPages; i++ {
+				if err := task.MM.Access(payloadBase+pt.VirtAddr(i<<pt.PageShift), false); err != nil {
+					return Result{}, err
+				}
+			}
+		case ByValue:
+			// Copy the staged payload into local memory, then scan it.
+			if _, err := task.MM.Mmap(vma.VMA{
+				Start: payloadBase, End: payloadBase + pt.VirtAddr(payloadPages<<pt.PageShift),
+				Prot: vma.Read | vma.Write, Kind: vma.Anon, Name: "[payload-copy]",
+			}); err != nil {
+				return Result{}, err
+			}
+			pool := c.Dev.Pool()
+			for i := 0; i < payloadPages; i++ {
+				va := payloadBase + pt.VirtAddr(i<<pt.PageShift)
+				local, err := node.Mem.Alloc()
+				if err != nil {
+					return Result{}, err
+				}
+				memsim.Copy(local, pool.Frame(int(prevPFNs[i])))
+				c.Dev.ReadBytes += int64(node.P.PageSize)
+				task.MM.MapFrame(va, local, pt.Writable|pt.Accessed)
+				node.Mem.Put(local)
+				node.Eng.Advance(node.P.CXLReadPage)
+				if err := task.MM.Access(va, false); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+
+		// Middle stages publish their own output for the next hop.
+		if s < stages-1 {
+			outBase := payloadBase + pt.VirtAddr((payloadPages+16)<<pt.PageShift)
+			_, outPFNs, err := task.MM.MmapShared(outBase, payloadPages, "[payload-out]")
+			if err != nil {
+				return Result{}, err
+			}
+			for i := 0; i < payloadPages; i++ {
+				if err := task.MM.Publish(outBase+pt.VirtAddr(i<<pt.PageShift), memsim.NewToken()); err != nil {
+					return Result{}, err
+				}
+			}
+			prevPFNs = outPFNs
+			// The stage must stay alive until its consumer finishes; in
+			// this synchronous chain we defer teardown to the end.
+			defer node.Exit(task)
+		} else {
+			defer node.Exit(task)
+		}
+	}
+
+	res.Latency = c.Eng.Now() - start
+	var localAfter int64
+	for _, n := range c.Nodes {
+		localAfter += int64(n.Mem.UsedPages())
+	}
+	res.LocalPagesCopied = int(localAfter - localBefore)
+	res.FabricBytes = (c.Dev.ReadBytes - readBefore) + (c.Dev.WriteBytes - writeBefore)
+	return res, nil
+}
+
+// Compare runs the same chain under both transports on fresh clusters
+// built by mk and returns (byValue, byReference).
+func Compare(mk func() *cluster.Cluster, stages, payloadPages int) (Result, Result, error) {
+	bv, err := RunChain(mk(), stages, payloadPages, ByValue)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	br, err := RunChain(mk(), stages, payloadPages, ByReference)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	return bv, br, nil
+}

@@ -1,0 +1,80 @@
+package workflow
+
+import (
+	"testing"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/params"
+)
+
+func mkCluster() *cluster.Cluster {
+	p := params.Default()
+	p.NodeDRAMBytes = 256 << 20
+	p.CXLBytes = 256 << 20
+	return cluster.New(p, 2)
+}
+
+func TestByReferenceZeroCopy(t *testing.T) {
+	c := mkCluster()
+	res, err := RunChain(c, 3, 256, ByReference) // 1 MB payload
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalPagesCopied != 0 {
+		t.Fatalf("by-reference copied %d pages locally", res.LocalPagesCopied)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestByValueCopies(t *testing.T) {
+	c := mkCluster()
+	res, err := RunChain(c, 3, 256, ByValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two consuming stages each copy the full payload.
+	if res.LocalPagesCopied != 2*256 {
+		t.Fatalf("by-value copied %d pages, want 512", res.LocalPagesCopied)
+	}
+}
+
+func TestByReferenceFasterAndLeaner(t *testing.T) {
+	bv, br, err := Compare(mkCluster, 4, 1024) // 4 MB payload, 4 stages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Latency >= bv.Latency {
+		t.Fatalf("by-reference %v not faster than by-value %v", br.Latency, bv.Latency)
+	}
+	if br.LocalPagesCopied >= bv.LocalPagesCopied {
+		t.Fatalf("by-reference not leaner: %d vs %d pages",
+			br.LocalPagesCopied, bv.LocalPagesCopied)
+	}
+}
+
+func TestChainCleansUp(t *testing.T) {
+	c := mkCluster()
+	if _, err := RunChain(c, 5, 128, ByReference); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dev.UsedBytes() != 0 {
+		t.Fatalf("device retains %d bytes after chain", c.Dev.UsedBytes())
+	}
+	if got := c.LocalUsedBytes(); got != 0 {
+		t.Fatalf("nodes retain %d bytes after chain", got)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := RunChain(mkCluster(), 1, 16, ByValue); err == nil {
+		t.Fatal("single-stage chain accepted")
+	}
+}
+
+func TestTransportNames(t *testing.T) {
+	if ByValue.String() != "by-value" || ByReference.String() != "by-reference" {
+		t.Fatal("names wrong")
+	}
+}

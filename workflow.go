@@ -1,0 +1,61 @@
+package cxlfork
+
+import (
+	"time"
+
+	"cxlfork/internal/workflow"
+)
+
+// WorkflowTransport selects how chained functions pass payloads
+// (the §8 FaaS-workflow extension).
+type WorkflowTransport int
+
+// Workflow transports.
+const (
+	// PassByValue copies the payload into each stage's local memory.
+	PassByValue WorkflowTransport = iota
+	// PassByReference shares the payload via CXL mappings, zero-copy.
+	PassByReference
+)
+
+func (t WorkflowTransport) String() string {
+	return workflow.Transport(t).String()
+}
+
+// WorkflowResult summarizes one chain execution.
+type WorkflowResult struct {
+	Transport WorkflowTransport
+	Stages    int
+	// PayloadBytes is the inter-stage payload size.
+	PayloadBytes int64
+	// Latency is the end-to-end communication latency of the chain.
+	Latency time.Duration
+	// LocalBytesCopied is payload data landed in node-local DRAM.
+	LocalBytesCopied int64
+	// FabricBytes is CXL read+write traffic.
+	FabricBytes int64
+}
+
+// RunWorkflowChain executes an n-stage function chain passing a payload
+// of the given size between stages on alternating nodes, and reports
+// the communication cost under the chosen transport. Stages' compute is
+// excluded to isolate data movement — the quantity the §8 discussion is
+// about.
+func (s *System) RunWorkflowChain(stages int, payloadBytes int64, tr WorkflowTransport) (WorkflowResult, error) {
+	pages := int((payloadBytes + int64(s.c.P.PageSize) - 1) / int64(s.c.P.PageSize))
+	if pages < 1 {
+		pages = 1
+	}
+	res, err := workflow.RunChain(s.c, stages, pages, workflow.Transport(tr))
+	if err != nil {
+		return WorkflowResult{}, err
+	}
+	return WorkflowResult{
+		Transport:        tr,
+		Stages:           res.Stages,
+		PayloadBytes:     int64(res.Pages) * int64(s.c.P.PageSize),
+		Latency:          time.Duration(res.Latency),
+		LocalBytesCopied: int64(res.LocalPagesCopied) * int64(s.c.P.PageSize),
+		FabricBytes:      res.FabricBytes,
+	}, nil
+}
