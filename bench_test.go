@@ -391,7 +391,7 @@ func BenchmarkAblationGhostContainers(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run := func(disable bool) des.Time {
-			c := cluster.New(p, 2)
+			c := cluster.MustNew(p, 2)
 			po := porter.New(c, porter.Config{
 				Mechanism:         core.New(c.Dev),
 				Profiles:          profiles,
@@ -435,7 +435,7 @@ func BenchmarkScaleDedup(b *testing.B) {
 func BenchmarkWorkflowTransport(b *testing.B) {
 	// §8 extension: by-value vs by-reference payload passing.
 	p := experiments.ExpParams()
-	mk := func() *cluster.Cluster { return cluster.New(p, 2) }
+	mk := func() *cluster.Cluster { return cluster.MustNew(p, 2) }
 	for i := 0; i < b.N; i++ {
 		bv, br, err := workflow.Compare(mk, 4, 4096) // 16 MB payload
 		if err != nil {

@@ -29,13 +29,31 @@ import (
 	"cxlfork/internal/cluster"
 	"cxlfork/internal/core"
 	"cxlfork/internal/criu"
+	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
 	"cxlfork/internal/faas"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/mitosis"
 	"cxlfork/internal/params"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/vma"
+)
+
+// Typed failure sentinels surfaced by checkpoint/restore paths. Test
+// with errors.Is: wrapped variants carry context (which node, which
+// image, which step).
+var (
+	// ErrTornImage marks a checkpoint whose publication never reached
+	// its seal (the publishing node died mid-sequence).
+	ErrTornImage = rfork.ErrTornImage
+	// ErrImageCorrupt marks a checkpoint whose records fail their
+	// checksums or cannot be decoded.
+	ErrImageCorrupt = rfork.ErrImageCorrupt
+	// ErrNodeDown marks an operation that targeted a crashed node.
+	ErrNodeDown = rfork.ErrNodeDown
+	// ErrDeviceFull marks CXL device capacity exhaustion.
+	ErrDeviceFull = cxl.ErrDeviceFull
 )
 
 // Config describes the simulated platform.
@@ -178,17 +196,32 @@ func NewSystem(cfg Config) *System {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 2
 	}
-	c := cluster.New(cfg.params(), cfg.Nodes)
+	c := cluster.MustNew(cfg.params(), cfg.Nodes)
+	c.Faults.Reseed(cfg.Seed)
+	coreMech := core.New(c.Dev)
+	coreMech.Faults = c.Faults
+	criuMech := criu.New(c.CXLFS)
+	criuMech.Faults = c.Faults
+	mitMech := mitosis.New()
+	mitMech.Faults = c.Faults
 	return &System{
 		c:   c,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 		mech: map[MechanismKind]rfork.Mechanism{
-			CXLfork:    core.New(c.Dev),
-			CRIUCXL:    criu.New(c.CXLFS),
-			MitosisCXL: mitosis.New(),
+			CXLfork:    coreMech,
+			CRIUCXL:    criuMech,
+			MitosisCXL: mitMech,
 		},
 		reg: make(map[string]bool),
 	}
+}
+
+// checkNode validates a node index against the cluster size.
+func (s *System) checkNode(node int) error {
+	if node < 0 || node >= len(s.c.Nodes) {
+		return fmt.Errorf("cxlfork: node %d out of range [0,%d)", node, len(s.c.Nodes))
+	}
+	return nil
 }
 
 // Now returns the virtual clock.
@@ -240,6 +273,9 @@ func (s *System) ensureImage(spec faas.Spec) error {
 // DeployFunction cold-starts one of the built-in functions on a node:
 // the address space is created and state initialization runs in full.
 func (s *System) DeployFunction(node int, name string) (*Function, error) {
+	if err := s.checkNode(node); err != nil {
+		return nil, err
+	}
 	spec, ok := faas.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("cxlfork: unknown function %q (see FunctionNames)", name)
@@ -434,6 +470,9 @@ func (c *Checkpoint) Describe() Info {
 // Restore clones the checkpointed function into a fresh process on the
 // given node and returns it ready to invoke.
 func (s *System) Restore(node int, c *Checkpoint, opts RestoreOptions) (*Function, error) {
+	if err := s.checkNode(node); err != nil {
+		return nil, err
+	}
 	if err := s.ensureImage(c.spec); err != nil {
 		return nil, err
 	}
@@ -443,4 +482,93 @@ func (s *System) Restore(node int, c *Checkpoint, opts RestoreOptions) (*Functio
 		return nil, err
 	}
 	return &Function{sys: s, in: faas.Adopt(child, c.spec), node: node}, nil
+}
+
+// FaultKind selects an injectable fault class.
+type FaultKind = faultinject.Kind
+
+// Injectable fault kinds.
+const (
+	// CrashNode kills the node executing the matched step; it stays down
+	// until ReviveNode.
+	CrashNode = faultinject.CrashNode
+	// DeviceFull fails the matched step with ErrDeviceFull once, without
+	// the device actually being full.
+	DeviceFull = faultinject.DeviceFull
+	// FabricDegrade multiplies CXL transfer latencies by Factor for a
+	// Window of virtual time.
+	FabricDegrade = faultinject.FabricDegrade
+	// CorruptBlob flips one seeded-random bit in the matched
+	// checkpoint's serialized state.
+	CorruptBlob = faultinject.CorruptBlob
+)
+
+// Step boundaries a FaultRule can match (empty Step matches any).
+const (
+	StepCheckpointVMA    = faultinject.StepCheckpointVMA
+	StepCheckpointPT     = faultinject.StepCheckpointPT
+	StepCheckpointGlobal = faultinject.StepCheckpointGlobal
+	StepRestoreAttach    = faultinject.StepRestoreAttach
+	StepPorterRestore    = faultinject.StepPorterRestore
+)
+
+// AnyNode is the wildcard for FaultRule.Node.
+const AnyNode = faultinject.AnyNode
+
+// FaultRule describes one injectable fault; see the field docs on
+// faultinject.Rule. Rules fire deterministically by occurrence count.
+type FaultRule = faultinject.Rule
+
+// InjectFault registers a fault rule on the system's plan. Faults fire
+// at step boundaries during Checkpoint/Restore and replay identically
+// under the same Config.Seed.
+func (s *System) InjectFault(r FaultRule) { s.c.Faults.Inject(r) }
+
+// RecoverStats reports what a RecoverDevice pass reclaimed.
+type RecoverStats = cxl.RecoverStats
+
+// RecoverDevice garbage-collects torn (unsealed) checkpoint arenas left
+// on the CXL device by nodes that crashed mid-checkpoint, reclaiming
+// their frames and metadata.
+func (s *System) RecoverDevice() RecoverStats {
+	st := s.c.Dev.Recover()
+	s.c.Faults.Counters.RecoveredBytes.Add(st.Total())
+	return st
+}
+
+// NodeIsDown reports whether a node has been crashed by a fault.
+func (s *System) NodeIsDown(node int) bool { return s.c.Faults.NodeDown(node) }
+
+// ReviveNode brings a crashed node back. Its tasks are gone; sealed
+// checkpoints on the shared device remain usable.
+func (s *System) ReviveNode(node int) { s.c.Faults.Revive(node) }
+
+// DegradeFabric opens a fabric-degradation window immediately: CXL
+// transfer costs are multiplied by factor until window has elapsed on
+// the virtual clock.
+func (s *System) DegradeFabric(factor float64, window time.Duration) {
+	s.c.Faults.Degrade(factor, des.Time(window))
+}
+
+// FaultStats summarizes fault activity and recovery work so far.
+type FaultStats struct {
+	// Injected is the number of faults fired by injection rules.
+	Injected int64
+	// Retries counts operations re-attempted after a fault.
+	Retries int64
+	// Fallbacks counts degradations to a slower path (e.g. cold start).
+	Fallbacks int64
+	// RecoveredBytes counts bytes reclaimed from torn checkpoints.
+	RecoveredBytes int64
+}
+
+// FaultStats returns the system's fault counters.
+func (s *System) FaultStats() FaultStats {
+	c := &s.c.Faults.Counters
+	return FaultStats{
+		Injected:       c.Injected.Value(),
+		Retries:        c.Retries.Value(),
+		Fallbacks:      c.Fallbacks.Value(),
+		RecoveredBytes: c.RecoveredBytes.Value(),
+	}
 }

@@ -1,0 +1,126 @@
+package cxlfork
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeployFunctionRejectsBadNode covers the facade hardening: node
+// indexes out of range return errors instead of panicking.
+func TestDeployFunctionRejectsBadNode(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	for _, node := range []int{-1, sys.Nodes(), sys.Nodes() + 5} {
+		if _, err := sys.DeployFunction(node, "Float"); err == nil {
+			t.Fatalf("DeployFunction(%d) succeeded on a %d-node system", node, sys.Nodes())
+		}
+	}
+	if _, err := sys.DeployFunction(0, "Float"); err != nil {
+		t.Fatalf("in-range deploy failed: %v", err)
+	}
+}
+
+func TestRestoreRejectsBadNode(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+	ck, err := sys.Checkpoint(fn, CXLfork, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{-1, sys.Nodes()} {
+		if _, err := sys.Restore(node, ck, RestoreOptions{}); err == nil {
+			t.Fatalf("Restore(%d) succeeded on a %d-node system", node, sys.Nodes())
+		}
+	}
+	if _, err := sys.Restore(1, ck, RestoreOptions{}); err != nil {
+		t.Fatalf("in-range restore failed: %v", err)
+	}
+}
+
+// TestFacadeFaultAPI drives the public fault-injection surface
+// end-to-end: crash during checkpoint, device recovery, revive, retry.
+func TestFacadeFaultAPI(t *testing.T) {
+	sys := NewSystem(smallConfig())
+	fn := deployWarm(t, sys, "Float")
+
+	sys.InjectFault(FaultRule{Kind: CrashNode, Step: StepCheckpointGlobal, Node: 0})
+	_, err := sys.Checkpoint(fn, CXLfork, "doomed")
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("checkpoint on crashing node: got %v, want ErrNodeDown", err)
+	}
+	if !sys.NodeIsDown(0) {
+		t.Fatal("NodeIsDown(0) = false after crash")
+	}
+	st := sys.RecoverDevice()
+	if st.Arenas != 1 || st.Total() <= 0 {
+		t.Fatalf("RecoverDevice = %+v, want one torn arena", st)
+	}
+
+	sys.ReviveNode(0)
+	if sys.NodeIsDown(0) {
+		t.Fatal("node still down after ReviveNode")
+	}
+	ck, err := sys.Checkpoint(fn, CXLfork, "retry")
+	if err != nil {
+		t.Fatalf("checkpoint after revive: %v", err)
+	}
+	if _, err := sys.Restore(1, ck, RestoreOptions{}); err != nil {
+		t.Fatalf("restore after recovery: %v", err)
+	}
+
+	fs := sys.FaultStats()
+	if fs.Injected != 1 {
+		t.Fatalf("Injected = %d, want 1", fs.Injected)
+	}
+	if fs.RecoveredBytes != st.Total() {
+		t.Fatalf("RecoveredBytes = %d, recovered %d", fs.RecoveredBytes, st.Total())
+	}
+}
+
+// TestFaultReplayIsDeterministic runs the same corruption scenario
+// twice under one seed and checks identical outcomes and virtual times.
+func TestFaultReplayIsDeterministic(t *testing.T) {
+	run := func() (time.Duration, error) {
+		cfg := smallConfig()
+		cfg.Seed = 99
+		sys := NewSystem(cfg)
+		fn := deployWarm(t, sys, "Float")
+		sys.InjectFault(FaultRule{Kind: CorruptBlob, Step: StepCheckpointGlobal, Node: AnyNode})
+		ck, err := sys.Checkpoint(fn, CXLfork, "poisoned")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := sys.Restore(1, ck, RestoreOptions{})
+		return sys.Now(), rerr
+	}
+	t1, err1 := run()
+	t2, err2 := run()
+	if !errors.Is(err1, ErrImageCorrupt) {
+		t.Fatalf("corrupted restore: got %v, want ErrImageCorrupt", err1)
+	}
+	if t1 != t2 {
+		t.Fatalf("virtual times differ: %v vs %v", t1, t2)
+	}
+	if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+		t.Fatalf("outcomes differ: %v vs %v", err1, err2)
+	}
+}
+
+func TestDegradeFabricSlowsCheckpoint(t *testing.T) {
+	elapsed := func(degrade bool) time.Duration {
+		sys := NewSystem(smallConfig())
+		fn := deployWarm(t, sys, "Float")
+		if degrade {
+			sys.DegradeFabric(6, time.Hour)
+		}
+		start := sys.Now()
+		if _, err := sys.Checkpoint(fn, CXLfork, "ck"); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Now() - start
+	}
+	slow, fast := elapsed(true), elapsed(false)
+	if slow <= fast {
+		t.Fatalf("degraded checkpoint %v not slower than %v", slow, fast)
+	}
+}

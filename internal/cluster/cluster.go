@@ -10,6 +10,7 @@ import (
 
 	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/params"
@@ -23,27 +24,45 @@ type Cluster struct {
 	FS    *fsim.FS
 	CXLFS *fsim.CXLFS
 	Nodes []*kernel.OS
+
+	// Faults is the cluster's fault-injection plan. It is always
+	// non-nil; with no rules injected it reports no faults, so the happy
+	// path pays only a few predictable branches.
+	Faults *faultinject.Plan
 }
 
 // New builds a cluster of n nodes with the given parameters. All nodes
 // share one virtual clock: the simulation is sequential, and concurrent
 // scenarios are expressed through the engine's event queue.
-func New(p params.Params, n int) *Cluster {
+func New(p params.Params, n int) (*Cluster, error) {
 	if n <= 0 {
-		panic("cluster: need at least one node")
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
 	eng := des.NewEngine()
 	dev := cxl.NewDevice(p)
 	fs := fsim.NewFS()
 	c := &Cluster{
-		P:     p,
-		Eng:   eng,
-		Dev:   dev,
-		FS:    fs,
-		CXLFS: fsim.NewCXLFS(dev),
+		P:      p,
+		Eng:    eng,
+		Dev:    dev,
+		FS:     fs,
+		CXLFS:  fsim.NewCXLFS(dev),
+		Faults: faultinject.NewPlan(eng, 1),
 	}
 	for i := 0; i < n; i++ {
-		c.Nodes = append(c.Nodes, kernel.NewOS(fmt.Sprintf("node%d", i), p, eng, dev, fs, p.NodeDRAMBytes))
+		node := kernel.NewOS(fmt.Sprintf("node%d", i), p, eng, dev, fs, p.NodeDRAMBytes)
+		node.Index = i
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c, nil
+}
+
+// MustNew is New for contexts where n is a constant and an error is a
+// programming bug (tests, experiment drivers).
+func MustNew(p params.Params, n int) *Cluster {
+	c, err := New(p, n)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }

@@ -14,7 +14,7 @@ func small() params.Params {
 }
 
 func TestNewCluster(t *testing.T) {
-	c := New(small(), 3)
+	c := MustNew(small(), 3)
 	if len(c.Nodes) != 3 {
 		t.Fatalf("nodes = %d", len(c.Nodes))
 	}
@@ -31,7 +31,7 @@ func TestNewCluster(t *testing.T) {
 }
 
 func TestWarmAll(t *testing.T) {
-	c := New(small(), 2)
+	c := MustNew(small(), 2)
 	c.FS.Create("/img/lib.so", 8*4096)
 	if err := c.WarmAll("/img/lib.so"); err != nil {
 		t.Fatal(err)
@@ -47,7 +47,7 @@ func TestWarmAll(t *testing.T) {
 }
 
 func TestLocalUsedBytes(t *testing.T) {
-	c := New(small(), 2)
+	c := MustNew(small(), 2)
 	c.Node(0).Mem.MustAlloc()
 	c.Node(1).Mem.MustAlloc()
 	c.Node(1).Mem.MustAlloc()
@@ -56,11 +56,19 @@ func TestLocalUsedBytes(t *testing.T) {
 	}
 }
 
-func TestZeroNodesPanics(t *testing.T) {
+func TestZeroNodesErrors(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if c, err := New(small(), n); err == nil || c != nil {
+			t.Fatalf("New(%d) = %v, %v; want nil, error", n, c, err)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on empty cluster")
 		}
 	}()
-	New(small(), 0)
+	MustNew(small(), 0)
 }

@@ -8,15 +8,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/vma"
+	"cxlfork/internal/wire"
 )
 
 // ptLeafRef is one rebased page-table leaf: its virtual base plus the
@@ -43,14 +46,12 @@ type Checkpoint struct {
 	vmaLeaves []cxl.Offset
 	globalOff cxl.Offset
 
-	frames []*memsim.Frame // owned CXL data frames
-
 	dataPages  int
 	dirtyPages int
 	filePages  int
 	vmaCount   int
 
-	refs int
+	refs rfork.RefCount
 }
 
 // Statically assert the rfork.Image contract.
@@ -91,26 +92,17 @@ func (c *Checkpoint) PTLeaves() int { return len(c.ptLeaves) }
 func (c *Checkpoint) VMALeaves() int { return len(c.vmaLeaves) }
 
 // Refs returns the reference count.
-func (c *Checkpoint) Refs() int { return c.refs }
+func (c *Checkpoint) Refs() int { return c.refs.Count() }
 
 // Retain adds a reference.
-func (c *Checkpoint) Retain() { c.refs++ }
+func (c *Checkpoint) Retain() { c.refs.Retain() }
 
-// Release drops a reference; at zero the data frames and the arena are
-// reclaimed.
+// Release drops a reference; at zero the arena is reclaimed (along with
+// the data frames it owns). Releasing a dead checkpoint is a no-op.
 func (c *Checkpoint) Release() {
-	if c.refs <= 0 {
-		panic("core: Release on dead checkpoint")
-	}
-	c.refs--
-	if c.refs > 0 {
+	if !c.refs.Release() {
 		return
 	}
-	pool := c.dev.Pool()
-	for _, f := range c.frames {
-		pool.Put(f)
-	}
-	c.frames = nil
 	c.arena.Release()
 }
 
@@ -194,6 +186,9 @@ func (c *Checkpoint) SetUserHot(va pt.VirtAddr) bool {
 type Mechanism struct {
 	// Dev is the CXL device checkpoints are placed on.
 	Dev *cxl.Device
+	// Faults is the fault-injection plan consulted at step boundaries.
+	// May be nil (no faults).
+	Faults *faultinject.Plan
 }
 
 // New returns the CXLfork mechanism over the device.
@@ -210,11 +205,12 @@ func (m *Mechanism) Name() string { return "CXLfork" }
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
 	o := parent.OS
 	p := o.P
+	node := o.Index
 	arena, err := m.Dev.NewArena(id)
 	if err != nil {
 		return nil, err
 	}
-	ck := &Checkpoint{id: id, dev: m.Dev, arena: arena, refs: 1}
+	ck := &Checkpoint{id: id, dev: m.Dev, arena: arena, refs: rfork.NewRefCount()}
 	pool := m.Dev.Pool()
 	var cost des.Time
 
@@ -222,6 +218,9 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	cost += p.StructCopy
 
 	// VMA tree leaves: copied as-is, marked immutable (step 2).
+	if err := m.Faults.At(faultinject.StepCheckpointVMA, node); err != nil {
+		return nil, m.checkpointFault(ck, o.Eng, cost, err)
+	}
 	var vmaErr error
 	srcVMAs := collectVMALeaves(parent)
 	for _, leaf := range srcVMAs {
@@ -245,6 +244,9 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	// Page tables and data pages (steps 4-7): copy each leaf, copy each
 	// present page into a CXL frame, rewrite the PTE to the device PFN
 	// (read-only, CoW), preserving A/D and software bits — the rebase.
+	if err := m.Faults.At(faultinject.StepCheckpointPT, node); err != nil {
+		return nil, m.checkpointFault(ck, o.Eng, cost, err)
+	}
 	var ptErr error
 	parent.MM.PT.WalkLeaves(func(base pt.VirtAddr, leaf *pt.Leaf) {
 		if ptErr != nil {
@@ -270,7 +272,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 				return
 			}
 			memsim.Copy(dst, src)
-			ck.frames = append(ck.frames, dst)
+			arena.TrackFrame(dst)
 			m.Dev.WriteBytes += int64(p.PageSize)
 
 			keep := e.Flags & (pt.Accessed | pt.Dirty | pt.FileBacked | pt.UserHot)
@@ -285,7 +287,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 			if e.Flags.Has(pt.FileBacked) {
 				ck.filePages++
 			}
-			cost += p.CXLWritePage + p.PTERebase
+			cost += m.Faults.Scale(p.CXLWritePage) + p.PTERebase
 		}
 		off, err := arena.Alloc(ckLeaf, int64(p.PageSize))
 		if err != nil {
@@ -300,9 +302,15 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	}
 
 	// Global state (step 8): light serialization of paths, permissions,
-	// mounts, PID namespace, and the register file.
+	// mounts, PID namespace, and the register file, wrapped in a
+	// checksummed envelope so Restore can detect corruption before it
+	// mutates the child.
+	if err := m.Faults.At(faultinject.StepCheckpointGlobal, node); err != nil {
+		return nil, m.checkpointFault(ck, o.Eng, cost, err)
+	}
 	gs := rfork.CaptureGlobalState(parent)
-	blob := gs.Encode()
+	blob := wire.SealEnvelope(gs.Encode())
+	m.Faults.Corrupt(faultinject.StepCheckpointGlobal, node, id, blob)
 	off, err := arena.Alloc(blob, int64(len(blob)))
 	if err != nil {
 		ck.Release()
@@ -312,8 +320,30 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	cost += des.Time(len(gs.FDs)) * p.FDSerialize
 	cost += p.StructCopy // mounts + pidns records
 
+	// Publication commit: the arena becomes visible to Restore only now.
+	// Everything before this point is recoverable staging.
+	if err := arena.Seal(); err != nil {
+		ck.Release()
+		return nil, err
+	}
 	o.Eng.Advance(cost)
 	return ck, nil
+}
+
+// checkpointFault finishes a Checkpoint interrupted by an injected
+// fault. A node crash leaves the staged arena torn on the device (the
+// dead node cannot roll back; Device.Recover garbage-collects it) and
+// still charges the virtual-time cost accrued before the crash — that
+// work happened. Any other fault (transient device-full) rolls the
+// staging back so occupancy is exactly what it was, matching the real
+// device-full paths.
+func (m *Mechanism) checkpointFault(ck *Checkpoint, eng *des.Engine, cost des.Time, cause error) error {
+	if errors.Is(cause, rfork.ErrNodeDown) {
+		eng.Advance(cost)
+	} else {
+		ck.Release()
+	}
+	return cause
 }
 
 // collectVMALeaves snapshots the parent's VMA tree as leaves of at most
@@ -334,12 +364,17 @@ func collectVMALeaves(parent *kernel.Task) []*vma.Leaf {
 	return leaves
 }
 
-// globalState decodes the checkpoint's global-state blob.
+// globalState verifies and decodes the checkpoint's global-state blob.
+// A checksum or decode failure surfaces as rfork.ErrImageCorrupt.
 func (c *Checkpoint) globalState() (rfork.GlobalState, error) {
 	blob := cxl.Get[[]byte](c.arena, c.globalOff)
-	gs, err := rfork.DecodeGlobalState(blob)
+	payload, err := wire.OpenEnvelope(blob)
 	if err != nil {
-		return gs, fmt.Errorf("core: corrupt global state in %s: %w", c.id, err)
+		return rfork.GlobalState{}, fmt.Errorf("core: global state in %s: %w: %v", c.id, rfork.ErrImageCorrupt, err)
+	}
+	gs, err := rfork.DecodeGlobalState(payload)
+	if err != nil {
+		return gs, fmt.Errorf("core: global state in %s: %w: %v", c.id, rfork.ErrImageCorrupt, err)
 	}
 	return gs, nil
 }

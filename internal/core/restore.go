@@ -5,6 +5,7 @@ import (
 
 	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
@@ -23,11 +24,26 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	if !ok {
 		return fmt.Errorf("core: image %s is %T, not a CXLfork checkpoint", img.ID(), img)
 	}
-	if ck.refs <= 0 {
-		return fmt.Errorf("core: restore from reclaimed checkpoint %s", ck.id)
-	}
 	o := child.OS
 	p := o.P
+	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+		return err
+	}
+
+	// Validate the image before touching the child: a reclaimed or torn
+	// (unsealed) checkpoint must never be attached, and the global-state
+	// blob must decode cleanly — it is needed after the attach, when a
+	// failure would leave the child half-mutated.
+	if ck.refs.Count() <= 0 {
+		return fmt.Errorf("core: restore from reclaimed checkpoint %s", ck.id)
+	}
+	if !ck.arena.Sealed() {
+		return fmt.Errorf("core: checkpoint %s: %w", ck.id, rfork.ErrTornImage)
+	}
+	gs, err := ck.globalState()
+	if err != nil {
+		return err
+	}
 	var cost des.Time
 
 	// Attach the MM descriptor view: the VMA leaves (§4.2.1). Global
@@ -95,11 +111,8 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 		return fmt.Errorf("core: unknown tiering policy %v", opts.Policy)
 	}
 
-	// Redo global state from the light serialization.
-	gs, err := ck.globalState()
-	if err != nil {
-		return err
-	}
+	// Redo global state from the light serialization (decoded and
+	// verified above, before the child was touched).
 	o.Eng.Advance(cost)
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {
 		return err

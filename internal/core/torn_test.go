@@ -1,0 +1,39 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/fsim"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/params"
+	"cxlfork/internal/rfork"
+)
+
+// TestRestoreRejectsTornImage covers the staged→sealed publication
+// commit directly: a checkpoint whose arena was never sealed (a crash
+// tore it mid-checkpoint) is rejected with ErrTornImage before any
+// child state is touched.
+func TestRestoreRejectsTornImage(t *testing.T) {
+	p := params.Default()
+	p.CXLBytes = 16 << 20
+	eng := des.NewEngine()
+	dev := cxl.NewDevice(p)
+	o := kernel.NewOS("n0", p, eng, dev, fsim.NewFS(), 16<<20)
+
+	arena, err := dev.NewArena("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{id: "torn", dev: dev, arena: arena, refs: rfork.NewRefCount()}
+
+	child := o.NewTask("clone")
+	if err := New(dev).Restore(child, ck, rfork.Options{}); !errors.Is(err, rfork.ErrTornImage) {
+		t.Fatalf("restore of unsealed arena: got %v, want ErrTornImage", err)
+	}
+	if n := child.MM.VMAs.Count(); n != 0 {
+		t.Fatalf("failed restore left %d VMAs in the child", n)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
@@ -29,7 +30,7 @@ type Image struct {
 	file  string
 	pages int
 	size  int64
-	refs  int
+	refs  rfork.RefCount
 }
 
 var _ rfork.Image = (*Image)(nil)
@@ -50,18 +51,15 @@ func (im *Image) LocalBytes() int64 { return 0 }
 func (im *Image) Pages() int { return im.pages }
 
 // Refs returns the reference count.
-func (im *Image) Refs() int { return im.refs }
+func (im *Image) Refs() int { return im.refs.Count() }
 
 // Retain adds a reference.
-func (im *Image) Retain() { im.refs++ }
+func (im *Image) Retain() { im.refs.Retain() }
 
 // Release drops a reference; at zero the image file is deleted.
+// Releasing a dead image is a no-op.
 func (im *Image) Release() {
-	if im.refs <= 0 {
-		panic("criu: Release on dead image")
-	}
-	im.refs--
-	if im.refs == 0 {
+	if im.refs.Release() {
 		im.fs.Remove(im.file)
 	}
 }
@@ -70,6 +68,9 @@ func (im *Image) Release() {
 type Mechanism struct {
 	// FS is the shared in-CXL-memory filesystem holding image files.
 	FS *fsim.CXLFS
+	// Faults is the fault-injection plan consulted at step boundaries.
+	// May be nil (no faults).
+	Faults *faultinject.Plan
 }
 
 // New returns the CRIU-CXL mechanism writing images to fs.
@@ -93,6 +94,9 @@ const (
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
 	o := parent.OS
 	p := o.P
+	if err := m.Faults.At(faultinject.StepCheckpointVMA, o.Index); err != nil {
+		return nil, err
+	}
 	var cost des.Time
 
 	enc := wire.NewEncoder()
@@ -124,16 +128,23 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 		pg.PutUint(pageFieldToken, src.Data)
 		enc.PutMessage(fieldPage, pg)
 		pages++
-		cost += p.CRIUPageSerialize
+		cost += m.Faults.Scale(p.CRIUPageSerialize)
 	})
 
 	logical := int64(pages)*int64(p.PageSize) + int64(vmaCount+len(gs.FDs)+1)*64
 	file := "criu-" + id + ".img"
-	if err := m.FS.Write(file, enc.Bytes(), logical); err != nil {
+	if err := m.Faults.At(faultinject.StepCheckpointGlobal, o.Index); err != nil {
+		return nil, err
+	}
+	// The whole image goes through a checksummed envelope so Restore can
+	// reject a torn or bit-flipped file before reconstructing anything.
+	blob := wire.SealEnvelope(enc.Bytes())
+	m.Faults.Corrupt(faultinject.StepCheckpointGlobal, o.Index, id, blob)
+	if err := m.FS.Write(file, blob, logical); err != nil {
 		return nil, err
 	}
 	o.Eng.Advance(cost)
-	return &Image{id: id, fs: m.FS, file: file, pages: pages, size: logical, refs: 1}, nil
+	return &Image{id: id, fs: m.FS, file: file, pages: pages, size: logical, refs: rfork.NewRefCount()}, nil
 }
 
 // Restore deserializes the image on the child's node, reconstructing
@@ -144,19 +155,30 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	if !ok {
 		return fmt.Errorf("criu: image %s is %T, not a CRIU image", img.ID(), img)
 	}
-	if im.refs <= 0 {
-		return fmt.Errorf("criu: restore from reclaimed image %s", im.id)
-	}
 	o := child.OS
 	p := o.P
-	blob, err := m.FS.Read(im.file)
+	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+		return err
+	}
+	if im.refs.Count() <= 0 {
+		return fmt.Errorf("criu: restore from reclaimed image %s", im.id)
+	}
+	envelope, err := m.FS.Read(im.file)
 	if err != nil {
 		return err
 	}
 
+	// Validate and fully decode the image before mutating the child: a
+	// damaged file must surface as ErrImageCorrupt with the child
+	// untouched, never as a half-reconstructed address space.
+	blob, err := wire.OpenEnvelope(envelope)
+	if err != nil {
+		return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+	}
 	var cost des.Time
 	var gs rfork.GlobalState
 	var haveGS bool
+	var vmas []vma.VMA
 	type pageRec struct {
 		vpn   uint64
 		token uint64
@@ -167,51 +189,56 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	for d.More() {
 		field, wt, err := d.Next()
 		if err != nil {
-			return err
+			return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 		}
 		switch field {
 		case fieldVMA:
 			b, err := d.Bytes()
 			if err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			v, err := rfork.DecodeVMA(b)
 			if err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
-			if _, err := child.MM.VMAs.Insert(v); err != nil {
-				return err
-			}
+			vmas = append(vmas, v)
 			cost += p.CRIURecordDecode + p.VMAReconstruct
 		case fieldGlobal:
 			b, err := d.Bytes()
 			if err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			gs, err = rfork.DecodeGlobalState(b)
 			if err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			haveGS = true
 			cost += des.Time(len(gs.FDs)) * p.CRIURecordDecode
 		case fieldPage:
 			b, err := d.Bytes()
 			if err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			rec, err := decodePage(b)
 			if err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			pageRecs = append(pageRecs, pageRec{rec.vpn, rec.token})
 		default:
 			if err := d.Skip(wt); err != nil {
-				return err
+				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 		}
 	}
 	if !haveGS {
-		return fmt.Errorf("criu: image %s has no global state", im.id)
+		return fmt.Errorf("criu: image %s has no global state: %w", im.id, rfork.ErrImageCorrupt)
+	}
+
+	// Decode succeeded; reconstruct the child.
+	for _, v := range vmas {
+		if _, err := child.MM.VMAs.Insert(v); err != nil {
+			return err
+		}
 	}
 
 	// Copy every imaged page into local memory and map it.
@@ -232,7 +259,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 		}
 		child.MM.MapFrame(va, f, flags)
 		o.Mem.Put(f) // MapFrame took the mapping reference
-		cost += p.CRIUPageRestore
+		cost += m.Faults.Scale(p.CRIUPageRestore)
 	}
 
 	o.Eng.Advance(cost)

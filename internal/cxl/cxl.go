@@ -21,6 +21,7 @@ package cxl
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/params"
@@ -94,6 +95,41 @@ func (d *Device) Arena(name string) *Arena { return d.arenas[name] }
 // Arenas returns the number of live arenas.
 func (d *Device) Arenas() int { return len(d.arenas) }
 
+// RecoverStats reports what a Device.Recover pass reclaimed.
+type RecoverStats struct {
+	// Arenas is the number of torn (unsealed) arenas garbage-collected.
+	Arenas int
+	// MetaBytes is the arena metadata reclaimed.
+	MetaBytes int64
+	// FrameBytes is the data-frame capacity reclaimed.
+	FrameBytes int64
+}
+
+// Total returns all bytes reclaimed.
+func (s RecoverStats) Total() int64 { return s.MetaBytes + s.FrameBytes }
+
+// Recover garbage-collects every unsealed arena on the device: the
+// debris of checkpoints whose publishing node died before the seal.
+// Sealed arenas are untouched. Iteration is name-sorted so a recovery
+// pass is deterministic regardless of map order.
+func (d *Device) Recover() RecoverStats {
+	var torn []*Arena
+	for _, a := range d.arenas {
+		if !a.sealed {
+			torn = append(torn, a)
+		}
+	}
+	sort.Slice(torn, func(i, j int) bool { return torn[i].name < torn[j].name })
+	var st RecoverStats
+	for _, a := range torn {
+		st.Arenas++
+		st.MetaBytes += a.bytes
+		st.FrameBytes += a.FrameBytes()
+		a.Release()
+	}
+	return st
+}
+
 // charge reserves metadata bytes on the device.
 func (d *Device) charge(n int64) error {
 	if d.UsedBytes()+n > d.CapacityBytes() {
@@ -113,11 +149,20 @@ type arenaObj struct {
 // holding one checkpoint's OS structures. It is append-only until
 // released as a whole (checkpoints are immutable; reclaim drops the
 // entire checkpoint).
+//
+// Publication is a two-phase commit: an arena starts staged and becomes
+// restorable only after Seal. A node that crashes mid-checkpoint leaves
+// a staged arena behind; Device.Recover garbage-collects it, so torn
+// images never leak capacity or become restorable. The arena also owns
+// the checkpoint's data frames (via TrackFrame) so both Release and
+// Recover can reclaim them without help from the mechanism that died.
 type Arena struct {
 	dev    *Device
 	name   string
 	objs   []arenaObj
 	bytes  int64
+	frames []*memsim.Frame
+	sealed bool
 	closed bool
 }
 
@@ -131,10 +176,14 @@ func (a *Arena) Bytes() int64 { return a.bytes }
 func (a *Arena) Len() int { return len(a.objs) - 1 }
 
 // Alloc stores obj in the arena, charging size bytes against the device,
-// and returns its offset.
+// and returns its offset. Sealed arenas are immutable: allocating into
+// one is an error.
 func (a *Arena) Alloc(obj any, size int64) (Offset, error) {
 	if a.closed {
 		return Nil, fmt.Errorf("cxl: arena %q is released", a.name)
+	}
+	if a.sealed {
+		return Nil, fmt.Errorf("cxl: arena %q is sealed", a.name)
 	}
 	if size < 0 {
 		panic("cxl: negative object size")
@@ -168,9 +217,39 @@ func (a *Arena) Get(off Offset) any {
 	return a.objs[off].v
 }
 
-// Release frees the arena's metadata accounting and unregisters it from
-// the device. The caller is responsible for freeing any data frames the
-// checkpoint references.
+// TrackFrame hands ownership of one reference on a data frame to the
+// arena: Release (and Recover, for torn arenas) will Put it back to its
+// pool.
+func (a *Arena) TrackFrame(f *memsim.Frame) {
+	if a.closed {
+		panic(fmt.Sprintf("cxl: TrackFrame on released arena %q", a.name))
+	}
+	a.frames = append(a.frames, f)
+}
+
+// FrameBytes returns the bytes of data frames the arena owns.
+func (a *Arena) FrameBytes() int64 {
+	return int64(len(a.frames)) * int64(a.dev.p.PageSize)
+}
+
+// Seal commits the arena: it becomes immutable and visible to Restore.
+// Sealing is the last step of checkpoint publication; everything before
+// it is recoverable staging.
+func (a *Arena) Seal() error {
+	if a.closed {
+		return fmt.Errorf("cxl: Seal on released arena %q", a.name)
+	}
+	a.sealed = true
+	return nil
+}
+
+// Sealed reports whether the arena completed its two-phase commit.
+// Restore paths refuse unsealed arenas: they are torn images.
+func (a *Arena) Sealed() bool { return a.sealed }
+
+// Release frees the arena: its metadata accounting, its registration on
+// the device, and every data frame handed to it via TrackFrame.
+// Releasing twice is a no-op.
 func (a *Arena) Release() {
 	if a.closed {
 		return
@@ -178,6 +257,10 @@ func (a *Arena) Release() {
 	a.closed = true
 	a.dev.metaBytes -= a.bytes
 	delete(a.dev.arenas, a.name)
+	for _, f := range a.frames {
+		f.Pool().Put(f)
+	}
+	a.frames = nil
 	a.objs = nil
 }
 

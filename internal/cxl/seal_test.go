@@ -1,0 +1,113 @@
+package cxl
+
+import (
+	"testing"
+)
+
+func TestArenaTwoPhaseCommit(t *testing.T) {
+	d := dev(t)
+	a, err := d.NewArena("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sealed() {
+		t.Fatal("new arena born sealed")
+	}
+	if _, err := a.Alloc("staged", 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sealed() {
+		t.Fatal("Seal did not seal")
+	}
+	// Sealed arenas are immutable.
+	if _, err := a.Alloc("late", 64); err == nil {
+		t.Fatal("Alloc succeeded on a sealed arena")
+	}
+	// Reads still work — restore walks sealed arenas.
+	if got := Get[string](a, 1); got != "staged" {
+		t.Fatalf("Get = %q", got)
+	}
+	a.Release()
+	if err := a.Seal(); err == nil {
+		t.Fatal("Seal succeeded on a released arena")
+	}
+}
+
+func TestArenaOwnsFrames(t *testing.T) {
+	d := dev(t)
+	a, err := d.NewArena("ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := d.Pool().Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TrackFrame(f)
+	if a.FrameBytes() != int64(d.p.PageSize) {
+		t.Fatalf("FrameBytes = %d", a.FrameBytes())
+	}
+	if d.Pool().UsedPages() != 1 {
+		t.Fatalf("pool used = %d", d.Pool().UsedPages())
+	}
+	a.Release()
+	if d.Pool().UsedPages() != 0 {
+		t.Fatal("Release did not return tracked frames")
+	}
+	// Double release must not double-free the frames.
+	a.Release()
+	if d.UsedBytes() != 0 {
+		t.Fatalf("device used = %d after release", d.UsedBytes())
+	}
+}
+
+func TestRecoverCollectsOnlyTornArenas(t *testing.T) {
+	d := dev(t)
+
+	sealed, _ := d.NewArena("a-sealed")
+	sealed.MustAlloc("x", 128)
+	f, _ := d.Pool().Alloc()
+	sealed.TrackFrame(f)
+	if err := sealed.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	torn1, _ := d.NewArena("b-torn")
+	torn1.MustAlloc("y", 100)
+	tf, _ := d.Pool().Alloc()
+	torn1.TrackFrame(tf)
+
+	torn2, _ := d.NewArena("c-torn")
+	torn2.MustAlloc("z", 50)
+
+	used := d.UsedBytes()
+	st := d.Recover()
+	if st.Arenas != 2 {
+		t.Fatalf("recovered %d arenas, want 2", st.Arenas)
+	}
+	wantMeta := int64(100 + 50)
+	wantFrames := int64(d.p.PageSize)
+	if st.MetaBytes != wantMeta || st.FrameBytes != wantFrames {
+		t.Fatalf("recovered meta=%d frames=%d, want %d/%d",
+			st.MetaBytes, st.FrameBytes, wantMeta, wantFrames)
+	}
+	if got := d.UsedBytes(); got != used-st.Total() {
+		t.Fatalf("device used %d after recover, want %d", got, used-st.Total())
+	}
+	if !torn1.Closed() || !torn2.Closed() {
+		t.Fatal("torn arenas not released")
+	}
+	if sealed.Closed() {
+		t.Fatal("Recover released a sealed arena")
+	}
+	if d.Arena("a-sealed") == nil {
+		t.Fatal("sealed arena deregistered")
+	}
+	// A second pass finds nothing.
+	if st := d.Recover(); st.Arenas != 0 || st.Total() != 0 {
+		t.Fatalf("second recover pass reclaimed %+v", st)
+	}
+}

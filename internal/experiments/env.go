@@ -28,7 +28,7 @@ func ExpParams() params.Params {
 // files registered and pre-pulled on all nodes (steady-state serverless
 // nodes have warm page caches for function images).
 func NewEnv(p params.Params, specs ...faas.Spec) (*cluster.Cluster, error) {
-	c := cluster.New(p, 2)
+	c := cluster.MustNew(p, 2)
 	for _, s := range specs {
 		faas.RegisterFiles(c.FS, p, s)
 		for _, n := range c.Nodes {

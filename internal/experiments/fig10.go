@@ -166,7 +166,7 @@ func fig10Run(p params.Params, cfg Fig10Config, d Design, frac float64, specs []
 	if cfg.KeepAlive > 0 {
 		p.KeepAlive = cfg.KeepAlive
 	}
-	c := cluster.New(p, 2)
+	c := cluster.MustNew(p, 2)
 	pcfg := porter.Config{
 		Profiles:        profiles,
 		Seed:            cfg.Seed,

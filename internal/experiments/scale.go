@@ -77,7 +77,7 @@ func Scale(p params.Params, function string, nodes int, cloneCounts []int) (*Sca
 // scaleRun restores n clones round-robin over the cluster and returns
 // (total extra local bytes, device bytes, mean restore latency).
 func scaleRun(p params.Params, spec faas.Spec, nodes, n int, useCXLfork bool) (int64, int64, des.Time, error) {
-	c := cluster.New(p, nodes)
+	c := cluster.MustNew(p, nodes)
 	faas.RegisterFiles(c.FS, p, spec)
 	for _, node := range c.Nodes {
 		if err := faas.WarmLibraries(node, spec); err != nil {

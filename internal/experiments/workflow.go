@@ -33,7 +33,7 @@ func Workflow(p params.Params, stages int, payloadMBs []int64) (*WorkflowResult,
 	if len(payloadMBs) == 0 {
 		payloadMBs = []int64{1, 4, 16, 64}
 	}
-	mk := func() *cluster.Cluster { return cluster.New(p, 2) }
+	mk := func() *cluster.Cluster { return cluster.MustNew(p, 2) }
 	res := &WorkflowResult{Stages: stages}
 	for _, mb := range payloadMBs {
 		pages := int(mb << 20 / int64(p.PageSize))

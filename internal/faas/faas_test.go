@@ -26,7 +26,7 @@ func testCluster(t testing.TB, specs ...Spec) *cluster.Cluster {
 	p.NodeDRAMBytes = 2 << 30
 	p.CXLBytes = 2 << 30
 	p.LLCBytes = 4 << 20
-	c := cluster.New(p, 2)
+	c := cluster.MustNew(p, 2)
 	for _, s := range specs {
 		RegisterFiles(c.FS, p, s)
 		for _, n := range c.Nodes {

@@ -1,0 +1,323 @@
+// Package faultinject provides deterministic, seeded fault injection
+// for the simulated fork fabric. A Plan is registered on the cluster
+// and consulted by the mechanisms and the autoscaler at named step
+// boundaries ("checkpoint/pt", "restore/attach", ...). Rules fire by
+// occurrence count on the DES virtual clock, never by wall-clock or
+// unseeded randomness, so every failure scenario replays identically
+// under the same seed.
+//
+// Four fault kinds are modeled, mirroring the failure modes that
+// dominate disaggregated-memory deployments: a node crash that tears an
+// in-flight checkpoint, a transient capacity exhaustion, a fabric
+// degradation window that multiplies every CXL latency, and silent
+// corruption of a checkpoint's serialized global state.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/metrics"
+	"cxlfork/internal/rfork"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// CrashNode kills the node executing the step: the operation fails
+	// with rfork.ErrNodeDown and the node stays down (every later step
+	// on it fails too) until Revive.
+	CrashNode Kind = iota
+	// DeviceFull makes the step fail with cxl.ErrDeviceFull without the
+	// device actually being full — a transient capacity rejection.
+	DeviceFull
+	// FabricDegrade opens a degradation window: for Window virtual
+	// nanoseconds every fabric transfer cost is multiplied by Factor.
+	FabricDegrade
+	// CorruptBlob flips one seeded-random bit in the checkpoint record
+	// being written at the step (consulted via Corrupt, not At).
+	CorruptBlob
+)
+
+// String names the kind for error messages and logs.
+func (k Kind) String() string {
+	switch k {
+	case CrashNode:
+		return "crash-node"
+	case DeviceFull:
+		return "device-full"
+	case FabricDegrade:
+		return "fabric-degrade"
+	case CorruptBlob:
+		return "corrupt-blob"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Named step boundaries where the stack consults its plan. Mechanisms
+// pass these to At/Corrupt; rules match on them.
+const (
+	// StepCheckpointVMA is the boundary before a checkpoint copies its
+	// VMA leaves into the arena.
+	StepCheckpointVMA = "checkpoint/vma"
+	// StepCheckpointPT is the boundary before the page-table leaves and
+	// data frames are copied.
+	StepCheckpointPT = "checkpoint/pt"
+	// StepCheckpointGlobal is the boundary before the global-state blob
+	// is serialized and the arena sealed. A crash here leaves a torn
+	// (unsealed) arena for Device.Recover to garbage-collect.
+	StepCheckpointGlobal = "checkpoint/global"
+	// StepRestoreAttach is the boundary before a restore begins
+	// mutating the child task.
+	StepRestoreAttach = "restore/attach"
+	// StepPorterRestore is the boundary the autoscaler consults when it
+	// spawns a forked instance from a stored image.
+	StepPorterRestore = "porter/restore"
+)
+
+// AnyNode matches every node in a Rule.
+const AnyNode = -1
+
+// Rule describes one injectable fault. Zero-valued match fields are
+// wildcards except Node, where AnyNode (-1) is the wildcard and 0 names
+// the first node.
+type Rule struct {
+	Kind Kind
+	// Step restricts the rule to one step boundary ("" = any step).
+	Step string
+	// Node restricts the rule to one node index (AnyNode = any).
+	Node int
+	// Target restricts CorruptBlob rules to one image/arena name
+	// ("" = any). Ignored by the other kinds.
+	Target string
+	// After skips the first After matching occurrences before firing.
+	After int
+	// Count caps how many times the rule fires; 0 means once.
+	Count int
+	// Window is the degradation duration for FabricDegrade.
+	Window des.Time
+	// Factor is the latency multiplier for FabricDegrade (>= 1).
+	Factor float64
+}
+
+type ruleState struct {
+	Rule
+	hits  int
+	fired int
+}
+
+func (r *ruleState) matches(step string, node int, target string) bool {
+	if r.Step != "" && r.Step != step {
+		return false
+	}
+	if r.Node != AnyNode && r.Node != node {
+		return false
+	}
+	if r.Target != "" && r.Target != target {
+		return false
+	}
+	return true
+}
+
+// arm records one matching occurrence and reports whether the rule
+// fires on it.
+func (r *ruleState) arm() bool {
+	r.hits++
+	if r.hits <= r.After {
+		return false
+	}
+	max := r.Count
+	if max == 0 {
+		max = 1
+	}
+	if r.fired >= max {
+		return false
+	}
+	r.fired++
+	return true
+}
+
+// Plan is a seeded fault schedule registered on a cluster. All methods
+// are safe on a nil *Plan (they report no faults), so call sites need
+// no guards. A Plan is not safe for concurrent use, matching the
+// single-goroutine DES discipline.
+type Plan struct {
+	eng   *des.Engine
+	rng   *rand.Rand
+	seed  int64
+	rules []*ruleState
+	down  map[int]bool
+
+	slowUntil  des.Time
+	slowFactor float64
+
+	// Counters tallies injected faults and the recovery work they
+	// trigger, for availability reporting.
+	Counters metrics.FaultCounters
+}
+
+// NewPlan returns an empty plan on engine eng with the given seed. The
+// seed drives only the randomness inside faults (which bit a CorruptBlob
+// flips); when rules fire is purely occurrence-counted.
+func NewPlan(eng *des.Engine, seed int64) *Plan {
+	return &Plan{
+		eng:  eng,
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+		down: make(map[int]bool),
+	}
+}
+
+// Reseed resets the plan's RNG, rule occurrence counters, node states,
+// and degradation window, so the same scenario replays bit-identically.
+// Passing the original seed reproduces the previous run exactly.
+func (p *Plan) Reseed(seed int64) {
+	if p == nil {
+		return
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	p.seed = seed
+	for _, r := range p.rules {
+		r.hits, r.fired = 0, 0
+	}
+	p.down = make(map[int]bool)
+	p.slowUntil, p.slowFactor = 0, 0
+	p.Counters = metrics.FaultCounters{}
+}
+
+// Seed returns the plan's current seed.
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Inject adds a rule to the plan.
+func (p *Plan) Inject(r Rule) {
+	if p == nil {
+		panic("faultinject: Inject on nil plan")
+	}
+	if r.Kind == FabricDegrade && r.Factor < 1 {
+		panic(fmt.Sprintf("faultinject: FabricDegrade factor %v < 1", r.Factor))
+	}
+	p.rules = append(p.rules, &ruleState{Rule: r})
+}
+
+// At is consulted at a step boundary on a node. It returns nil when no
+// fault applies; otherwise an error wrapping rfork.ErrNodeDown (crash,
+// or the node was already down) or cxl.ErrDeviceFull (transient
+// capacity rejection). FabricDegrade rules matching the step open their
+// window and return nil — degradation slows work, it does not fail it.
+func (p *Plan) At(step string, node int) error {
+	if p == nil {
+		return nil
+	}
+	if p.down[node] {
+		return fmt.Errorf("faultinject: node %d is down at %q: %w", node, step, rfork.ErrNodeDown)
+	}
+	for _, r := range p.rules {
+		if r.Kind == CorruptBlob || !r.matches(step, node, "") {
+			continue
+		}
+		if !r.arm() {
+			continue
+		}
+		p.Counters.Injected.Inc()
+		switch r.Kind {
+		case CrashNode:
+			p.down[node] = true
+			return fmt.Errorf("faultinject: injected crash of node %d at %q: %w", node, step, rfork.ErrNodeDown)
+		case DeviceFull:
+			return fmt.Errorf("faultinject: injected device-full at %q on node %d: %w", step, node, cxl.ErrDeviceFull)
+		case FabricDegrade:
+			p.Degrade(r.Factor, r.Window)
+		}
+	}
+	return nil
+}
+
+// Corrupt is consulted when a checkpoint record for target is about to
+// be written at a step boundary. If a CorruptBlob rule fires it flips
+// one seeded-random bit in blob in place and returns true.
+func (p *Plan) Corrupt(step string, node int, target string, blob []byte) bool {
+	if p == nil || len(blob) == 0 {
+		return false
+	}
+	for _, r := range p.rules {
+		if r.Kind != CorruptBlob || !r.matches(step, node, target) {
+			continue
+		}
+		if !r.arm() {
+			continue
+		}
+		p.Counters.Injected.Inc()
+		i := p.rng.Intn(len(blob))
+		blob[i] ^= 1 << uint(p.rng.Intn(8))
+		return true
+	}
+	return false
+}
+
+// CrashNode marks a node dead immediately (outside any step boundary).
+func (p *Plan) CrashNode(node int) {
+	if p == nil {
+		panic("faultinject: CrashNode on nil plan")
+	}
+	p.down[node] = true
+}
+
+// Revive brings a crashed node back. Its in-memory tasks are gone; its
+// view of sealed CXL checkpoints survives.
+func (p *Plan) Revive(node int) {
+	if p == nil {
+		return
+	}
+	delete(p.down, node)
+}
+
+// NodeDown reports whether a node is currently crashed.
+func (p *Plan) NodeDown(node int) bool {
+	return p != nil && p.down[node]
+}
+
+// Degrade opens (or extends) a fabric-degradation window: until
+// now+window, FabricFactor returns at least factor.
+func (p *Plan) Degrade(factor float64, window des.Time) {
+	if p == nil {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	until := p.eng.Now() + window
+	if until > p.slowUntil {
+		p.slowUntil = until
+	}
+	if factor > p.slowFactor {
+		p.slowFactor = factor
+	}
+}
+
+// FabricFactor returns the current fabric latency multiplier: 1 outside
+// any degradation window.
+func (p *Plan) FabricFactor() float64 {
+	if p == nil || p.eng.Now() >= p.slowUntil || p.slowFactor < 1 {
+		return 1
+	}
+	return p.slowFactor
+}
+
+// Scale multiplies a fabric transfer cost by the current degradation
+// factor. Mechanisms route their CXL copy costs through this.
+func (p *Plan) Scale(d des.Time) des.Time {
+	f := p.FabricFactor()
+	if f == 1 {
+		return d
+	}
+	return des.Time(float64(d) * f)
+}

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/rfork"
+)
+
+func TestRuleMatching(t *testing.T) {
+	p := NewPlan(des.NewEngine(), 1)
+	p.Inject(Rule{Kind: DeviceFull, Step: StepCheckpointPT, Node: 1, Count: 100})
+
+	if err := p.At(StepCheckpointVMA, 1); err != nil {
+		t.Fatalf("wrong step fired: %v", err)
+	}
+	if err := p.At(StepCheckpointPT, 0); err != nil {
+		t.Fatalf("wrong node fired: %v", err)
+	}
+	err := p.At(StepCheckpointPT, 1)
+	if !errors.Is(err, cxl.ErrDeviceFull) {
+		t.Fatalf("matching step+node: got %v, want ErrDeviceFull", err)
+	}
+	if got := p.Counters.Injected.Value(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	p := NewPlan(des.NewEngine(), 1)
+	p.Inject(Rule{Kind: DeviceFull, Node: AnyNode, Count: 3})
+	for i, node := range []int{0, 5, 9} {
+		if err := p.At("anything/"+string(rune('a'+i)), node); !errors.Is(err, cxl.ErrDeviceFull) {
+			t.Fatalf("wildcard rule missed node %d: %v", node, err)
+		}
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	p := NewPlan(des.NewEngine(), 1)
+	// Skip the first 2 matches, then fire exactly twice.
+	p.Inject(Rule{Kind: DeviceFull, Step: StepRestoreAttach, Node: AnyNode, After: 2, Count: 2})
+	var fired []int
+	for i := 0; i < 6; i++ {
+		if err := p.At(StepRestoreAttach, 0); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
+		t.Fatalf("fired on occurrences %v, want [2 3]", fired)
+	}
+}
+
+func TestCountZeroMeansOnce(t *testing.T) {
+	p := NewPlan(des.NewEngine(), 1)
+	p.Inject(Rule{Kind: DeviceFull, Node: AnyNode})
+	n := 0
+	for i := 0; i < 4; i++ {
+		if p.At("s", 0) != nil {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("zero Count fired %d times, want 1", n)
+	}
+}
+
+func TestCrashMarksNodeDown(t *testing.T) {
+	p := NewPlan(des.NewEngine(), 1)
+	p.Inject(Rule{Kind: CrashNode, Step: StepCheckpointGlobal, Node: 0})
+
+	err := p.At(StepCheckpointGlobal, 0)
+	if !errors.Is(err, rfork.ErrNodeDown) {
+		t.Fatalf("crash: got %v", err)
+	}
+	if !p.NodeDown(0) || p.NodeDown(1) {
+		t.Fatal("down-state wrong after crash")
+	}
+	// Every later step on the dead node fails, but is not a new injection.
+	if err := p.At(StepCheckpointVMA, 0); !errors.Is(err, rfork.ErrNodeDown) {
+		t.Fatalf("step on dead node: %v", err)
+	}
+	if got := p.Counters.Injected.Value(); got != 1 {
+		t.Fatalf("Injected = %d, want 1 (down-node errors are not injections)", got)
+	}
+	p.Revive(0)
+	if p.NodeDown(0) {
+		t.Fatal("node still down after Revive")
+	}
+	if err := p.At(StepCheckpointVMA, 0); err != nil {
+		t.Fatalf("revived node still failing: %v", err)
+	}
+}
+
+func TestDegradeWindow(t *testing.T) {
+	eng := des.NewEngine()
+	p := NewPlan(eng, 1)
+	p.Inject(Rule{Kind: FabricDegrade, Step: StepCheckpointPT, Node: AnyNode, Factor: 4, Window: 100})
+
+	if got := p.FabricFactor(); got != 1 {
+		t.Fatalf("factor before window = %v", got)
+	}
+	if err := p.At(StepCheckpointPT, 0); err != nil {
+		t.Fatalf("degrade rule returned error: %v", err)
+	}
+	if got := p.FabricFactor(); got != 4 {
+		t.Fatalf("factor inside window = %v, want 4", got)
+	}
+	if got := p.Scale(10); got != 40 {
+		t.Fatalf("Scale(10) = %v, want 40", got)
+	}
+	eng.Advance(100)
+	if got := p.FabricFactor(); got != 1 {
+		t.Fatalf("factor after window = %v, want 1", got)
+	}
+	if got := p.Scale(10); got != 10 {
+		t.Fatalf("Scale(10) after window = %v, want 10", got)
+	}
+}
+
+func TestCorruptTargetsAndDeterminism(t *testing.T) {
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+
+	run := func(seed int64) []byte {
+		p := NewPlan(des.NewEngine(), seed)
+		p.Inject(Rule{Kind: CorruptBlob, Step: StepCheckpointGlobal, Node: AnyNode, Target: "ck1"})
+		blob := append([]byte(nil), orig...)
+		// Wrong target: untouched.
+		if p.Corrupt(StepCheckpointGlobal, 0, "other", blob) {
+			t.Fatal("corrupted wrong target")
+		}
+		if !p.Corrupt(StepCheckpointGlobal, 0, "ck1", blob) {
+			t.Fatal("matching target not corrupted")
+		}
+		return blob
+	}
+
+	a, b := run(7), run(7)
+	if bytes.Equal(a, orig) {
+		t.Fatal("corruption did not change the blob")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	c := run(8)
+	if bytes.Equal(a, c) {
+		t.Log("different seeds flipped the same bit (possible but unlikely)")
+	}
+}
+
+func TestReseedResetsEverything(t *testing.T) {
+	eng := des.NewEngine()
+	p := NewPlan(eng, 3)
+	p.Inject(Rule{Kind: CrashNode, Step: StepCheckpointPT, Node: 0})
+	if err := p.At(StepCheckpointPT, 0); err == nil {
+		t.Fatal("rule did not fire")
+	}
+	p.Degrade(2, 1000)
+
+	p.Reseed(3)
+	if p.NodeDown(0) {
+		t.Fatal("Reseed kept node down")
+	}
+	if p.FabricFactor() != 1 {
+		t.Fatal("Reseed kept degradation window")
+	}
+	if p.Counters.Injected.Value() != 0 {
+		t.Fatal("Reseed kept counters")
+	}
+	if p.Seed() != 3 {
+		t.Fatalf("Seed() = %d", p.Seed())
+	}
+	// Rule occurrence state reset: it fires again.
+	if err := p.At(StepCheckpointPT, 0); !errors.Is(err, rfork.ErrNodeDown) {
+		t.Fatalf("replayed rule did not fire: %v", err)
+	}
+}
+
+func TestNilPlanIsSafe(t *testing.T) {
+	var p *Plan
+	if err := p.At("s", 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Corrupt("s", 0, "t", []byte{1}) {
+		t.Fatal("nil plan corrupted")
+	}
+	if p.NodeDown(0) {
+		t.Fatal("nil plan reports node down")
+	}
+	if p.FabricFactor() != 1 || p.Scale(5) != 5 {
+		t.Fatal("nil plan degrades")
+	}
+	p.Revive(0)
+	p.Degrade(2, 10)
+	p.Reseed(1)
+	if p.Seed() != 0 {
+		t.Fatal("nil plan has a seed")
+	}
+}
+
+func TestInjectValidatesFactor(t *testing.T) {
+	p := NewPlan(des.NewEngine(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on FabricDegrade factor < 1")
+		}
+	}()
+	p.Inject(Rule{Kind: FabricDegrade, Factor: 0.5})
+}

@@ -24,6 +24,9 @@ import (
 type OS struct {
 	// Name identifies the node ("node0").
 	Name string
+	// Index is the node's position in its cluster (0 for standalone
+	// instances). Fault-injection plans address nodes by this index.
+	Index int
 	// P is the platform cost model.
 	P params.Params
 	// Eng is the node's virtual clock. Nodes in one cluster share an

@@ -116,6 +116,43 @@ func (g *Gauge) MeanOver(end des.Time) float64 {
 // Max returns the largest observed value.
 func (g *Gauge) Max() float64 { return g.max }
 
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d (>= 0) to the counter.
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: negative counter add")
+	}
+	c.n += d
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// FaultCounters aggregates the availability-side accounting that the
+// fault-injection subsystem and the autoscaler's degradation paths
+// maintain, so experiments can report availability alongside latency.
+type FaultCounters struct {
+	// Injected counts faults fired by a fault-injection plan.
+	Injected Counter
+	// Retries counts operations re-attempted after a fault (e.g. a
+	// restore retried on an alternate node).
+	Retries Counter
+	// Fallbacks counts degradations to a slower path (e.g. a cold start
+	// instead of a fork) after retries were exhausted or impossible.
+	Fallbacks Counter
+	// RecoveredBytes counts bytes reclaimed by Device.Recover passes
+	// garbage-collecting torn (unsealed) checkpoint arenas.
+	RecoveredBytes Counter
+}
+
 // Ratio formats a/b as a multiplier string ("2.26x").
 func Ratio(a, b des.Time) string {
 	if b == 0 {

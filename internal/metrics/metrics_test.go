@@ -118,3 +118,37 @@ func TestRatio(t *testing.T) {
 		t.Fatalf("Ratio by zero = %q", got)
 	}
 }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	c.Add(0)
+	if c.Value() != 5 {
+		t.Fatalf("Add(0) changed value to %d", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative Add")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestFaultCountersZeroValue(t *testing.T) {
+	var fc FaultCounters
+	fc.Injected.Inc()
+	fc.RecoveredBytes.Add(4096)
+	if fc.Injected.Value() != 1 || fc.RecoveredBytes.Value() != 4096 {
+		t.Fatalf("counters = %+v", fc)
+	}
+	if fc.Retries.Value() != 0 || fc.Fallbacks.Value() != 0 {
+		t.Fatal("untouched counters non-zero")
+	}
+}

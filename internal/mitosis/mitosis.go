@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
@@ -34,11 +35,11 @@ type Image struct {
 	parentOS *kernel.OS
 
 	shadow   map[uint64]shadowPage // keyed by virtual page number
-	osState  []byte                // wire-encoded VMAs + global state
+	osState  []byte                // enveloped wire-encoded VMAs + global state
 	vmaCount int
 	pteCount int
 
-	refs int
+	refs rfork.RefCount
 }
 
 var _ rfork.Image = (*Image)(nil)
@@ -61,18 +62,15 @@ func (im *Image) LocalBytes() int64 {
 func (im *Image) Pages() int { return len(im.shadow) }
 
 // Refs returns the reference count.
-func (im *Image) Refs() int { return im.refs }
+func (im *Image) Refs() int { return im.refs.Count() }
 
 // Retain adds a reference.
-func (im *Image) Retain() { im.refs++ }
+func (im *Image) Retain() { im.refs.Retain() }
 
-// Release drops a reference; at zero the shadow copy is freed.
+// Release drops a reference; at zero the shadow copy is freed. Releasing
+// a dead image is a no-op.
 func (im *Image) Release() {
-	if im.refs <= 0 {
-		panic("mitosis: Release on dead image")
-	}
-	im.refs--
-	if im.refs > 0 {
+	if !im.refs.Release() {
 		return
 	}
 	for _, sp := range im.shadow {
@@ -82,7 +80,11 @@ func (im *Image) Release() {
 }
 
 // Mechanism is the Mitosis-CXL rfork.Mechanism.
-type Mechanism struct{}
+type Mechanism struct {
+	// Faults is the fault-injection plan consulted at step boundaries.
+	// May be nil (no faults).
+	Faults *faultinject.Plan
+}
 
 // New returns the Mitosis-CXL mechanism.
 func New() *Mechanism { return &Mechanism{} }
@@ -102,7 +104,10 @@ const (
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
 	o := parent.OS
 	p := o.P
-	im := &Image{id: id, parentOS: o, shadow: make(map[uint64]shadowPage), refs: 1}
+	if err := m.Faults.At(faultinject.StepCheckpointVMA, o.Index); err != nil {
+		return nil, err
+	}
+	im := &Image{id: id, parentOS: o, shadow: make(map[uint64]shadowPage), refs: rfork.NewRefCount()}
 	var cost des.Time
 
 	// Serialize the address-space layout and global state.
@@ -146,7 +151,10 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 		return nil, cpErr
 	}
 	enc.PutUint(fieldPTEs, uint64(im.pteCount))
-	im.osState = enc.Bytes()
+	// The OS-state record travels in a checksummed envelope so Restore
+	// can reject corruption before touching the child.
+	im.osState = wire.SealEnvelope(enc.Bytes())
+	m.Faults.Corrupt(faultinject.StepCheckpointGlobal, o.Index, id, im.osState)
 
 	o.Eng.Advance(cost)
 	return im, nil
@@ -160,60 +168,77 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	if !ok {
 		return fmt.Errorf("mitosis: image %s is %T, not a Mitosis image", img.ID(), img)
 	}
-	if im.refs <= 0 {
-		return fmt.Errorf("mitosis: restore from reclaimed image %s", im.id)
-	}
 	o := child.OS
 	p := o.P
-	var cost des.Time
+	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+		return err
+	}
+	if im.refs.Count() <= 0 {
+		return fmt.Errorf("mitosis: restore from reclaimed image %s", im.id)
+	}
+	// Mitosis' central constraint (§3.1): the checkpoint lives in the
+	// parent node's memory, so a dead parent makes the image unusable.
+	if m.Faults.NodeDown(im.parentOS.Index) {
+		return fmt.Errorf("mitosis: image %s: parent node %d: %w", im.id, im.parentOS.Index, rfork.ErrNodeDown)
+	}
 
+	// Validate and fully decode the OS state before mutating the child.
+	blob, err := wire.OpenEnvelope(im.osState)
+	if err != nil {
+		return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+	}
+	var cost des.Time
 	var gs rfork.GlobalState
 	var haveGS bool
-	d := wire.NewDecoder(im.osState)
+	var vmas []vma.VMA
+	d := wire.NewDecoder(blob)
 	for d.More() {
 		field, wt, err := d.Next()
 		if err != nil {
-			return err
+			return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 		}
 		switch field {
 		case fieldVMA:
 			b, err := d.Bytes()
 			if err != nil {
-				return err
+				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			v, err := rfork.DecodeVMA(b)
 			if err != nil {
-				return err
+				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
-			if _, err := child.MM.VMAs.Insert(v); err != nil {
-				return err
-			}
+			vmas = append(vmas, v)
 			cost += p.VMAReconstruct
 		case fieldGlobal:
 			b, err := d.Bytes()
 			if err != nil {
-				return err
+				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			gs, err = rfork.DecodeGlobalState(b)
 			if err != nil {
-				return err
+				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			haveGS = true
 		case fieldPTEs:
 			n, err := d.Uint()
 			if err != nil {
-				return err
+				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 			// Transfer and deserialize the parent's page tables.
 			cost += des.Time(n) * p.PTEDeserialize
 		default:
 			if err := d.Skip(wt); err != nil {
-				return err
+				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
 		}
 	}
 	if !haveGS {
-		return fmt.Errorf("mitosis: image %s has no global state", im.id)
+		return fmt.Errorf("mitosis: image %s has no global state: %w", im.id, rfork.ErrImageCorrupt)
+	}
+	for _, v := range vmas {
+		if _, err := child.MM.VMAs.Insert(v); err != nil {
+			return err
+		}
 	}
 	o.Eng.Advance(cost)
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {

@@ -13,14 +13,17 @@
 package porter
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"cxlfork/internal/cluster"
 	"cxlfork/internal/container"
+	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
 	"cxlfork/internal/faas"
 	"cxlfork/internal/kernel"
+	"cxlfork/internal/memsim"
 	"cxlfork/internal/metrics"
 	"cxlfork/internal/rfork"
 )
@@ -179,6 +182,18 @@ type Results struct {
 	Duration des.Time
 	// PolicyPromotions counts dynamic MoW→HT switches.
 	PolicyPromotions int
+	// InjectedFaults is the number of faults the cluster's plan fired
+	// (setup and trace combined).
+	InjectedFaults int64
+	// Retries counts restores/checkpoints re-attempted on an alternate
+	// node after a fault.
+	Retries int64
+	// Fallbacks counts degradations to scratch cold starts after a
+	// fault made the fork path unusable.
+	Fallbacks int64
+	// RecoveredBytes counts bytes reclaimed from torn checkpoint arenas
+	// by recovery passes.
+	RecoveredBytes int64
 }
 
 // Throughput returns requests completed within the arrival window per
@@ -255,11 +270,20 @@ func (p *Porter) ghostsCompatible() bool {
 	return !p.cfg.DisableGhosts && p.cfg.Mechanism.Name() != "CRIU-CXL"
 }
 
+// retryBackoff is the base virtual-time delay between provisioning
+// retries; it doubles per attempt.
+const retryBackoff = 10 * des.Millisecond
+
 // Setup prepares the deployment: registers and warms every function's
 // image files, builds a warmed parent for each function, checkpoints it
 // after its 16th invocation (§5), registers the checkpoint in the object
 // store, tears the parent down, and provisions ghost container pools.
 // Setup time is charged to the engine but precedes the measured trace.
+//
+// Provisioning is fault-tolerant: a node that crashes mid-checkpoint is
+// abandoned (the torn arena is recovered off the device) and the
+// checkpoint retried on a surviving node after a backoff; a full device
+// degrades the function to scratch cold starts instead of failing Setup.
 func (p *Porter) Setup(specs []faas.Spec) error {
 	cp := p.c.P
 	for _, s := range specs {
@@ -271,8 +295,34 @@ func (p *Porter) Setup(specs []faas.Spec) error {
 		}
 	}
 	for _, s := range specs {
-		parentNode := p.nodes[0]
-		in, err := faas.NewInstance(parentNode.os, s)
+		if err := p.provision(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstUpNode returns the lowest-index node not crashed by a fault, or
+// nil when the whole cluster is down.
+func (p *Porter) firstUpNode() *nodeState {
+	for _, n := range p.nodes {
+		if !p.c.Faults.NodeDown(n.os.Index) {
+			return n
+		}
+	}
+	return nil
+}
+
+// provision builds a warmed parent for s and publishes its checkpoint,
+// then sets up control state and ghost pools.
+func (p *Porter) provision(s faas.Spec) error {
+	cp := p.c.P
+	for attempt := 0; ; attempt++ {
+		node := p.firstUpNode()
+		if node == nil {
+			return fmt.Errorf("porter: no surviving node to provision %s: %w", s.Name, rfork.ErrNodeDown)
+		}
+		in, err := faas.NewInstance(node.os, s)
 		if err != nil {
 			return err
 		}
@@ -289,31 +339,54 @@ func (p *Porter) Setup(specs []faas.Spec) error {
 			return err
 		}
 		img, err := p.cfg.Mechanism.Checkpoint(in.Task, fmt.Sprintf("cid-%s-%s", p.cfg.User, s.Name))
-		if err != nil {
+		switch {
+		case err == nil:
+			p.store.Put(p.cfg.User, s.Name, img)
+			in.Exit()
+			// Mitosis pins its shadow copy in the parent node's memory
+			// for the lifetime of the image.
+			node.reservedPages += int(img.LocalBytes() / int64(cp.PageSize))
+		case errors.Is(err, rfork.ErrNodeDown):
+			// The node died mid-checkpoint. Its torn arena is still
+			// charged against the shared device: recover it, then retry
+			// on a surviving node after a backoff. The dead node's local
+			// state is lost with the node.
+			st := p.c.Dev.Recover()
+			p.c.Faults.Counters.RecoveredBytes.Add(st.Total())
+			p.c.Faults.Counters.Retries.Inc()
+			p.c.Eng.Advance(retryBackoff << uint(attempt))
+			continue
+		case errors.Is(err, cxl.ErrDeviceFull), errors.Is(err, memsim.ErrOutOfMemory):
+			// No room for a checkpoint (a full device surfaces as either a
+			// metadata charge rejection or frame-pool exhaustion): the
+			// function degrades to scratch cold starts — the checkpoint
+			// rollback left occupancy as it was. Setup itself succeeds.
+			in.Exit()
+			p.c.Faults.Counters.Fallbacks.Inc()
+		default:
 			return err
 		}
-		p.store.Put(p.cfg.User, s.Name, img)
-		in.Exit()
-		// Mitosis pins its shadow copy in the parent node's memory for
-		// the lifetime of the image.
-		parentNode.reservedPages += int(img.LocalBytes() / int64(cp.PageSize))
+		break
+	}
 
-		st := &fnState{spec: s, policy: rfork.MigrateOnWrite}
-		if p.cfg.StaticPolicy != nil {
-			st.policy = *p.cfg.StaticPolicy
-		}
-		st.slo = des.Time(p.cfg.SLOFactor * float64(p.profile(s.Name, rfork.MigrateOnAccess).WarmExec))
-		p.fns[s.Name] = st
+	st := &fnState{spec: s, policy: rfork.MigrateOnWrite}
+	if p.cfg.StaticPolicy != nil {
+		st.policy = *p.cfg.StaticPolicy
+	}
+	st.slo = des.Time(p.cfg.SLOFactor * float64(p.profile(s.Name, rfork.MigrateOnAccess).WarmExec))
+	p.fns[s.Name] = st
 
-		if p.ghostsCompatible() {
-			for _, n := range p.nodes {
-				for i := 0; i < p.cfg.GhostsPerFunction; i++ {
-					if _, err := n.rt.Create(); err != nil {
-						return err
-					}
-					n.ghosts[s.Name]++
-					n.usedPages += int(cp.GhostContainerBytes / int64(cp.PageSize))
+	if p.ghostsCompatible() {
+		for _, n := range p.nodes {
+			if p.c.Faults.NodeDown(n.os.Index) {
+				continue
+			}
+			for i := 0; i < p.cfg.GhostsPerFunction; i++ {
+				if _, err := n.rt.Create(); err != nil {
+					return err
 				}
+				n.ghosts[s.Name]++
+				n.usedPages += int(cp.GhostContainerBytes / int64(cp.PageSize))
 			}
 		}
 	}

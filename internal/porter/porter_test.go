@@ -48,7 +48,7 @@ func newPorter(t *testing.T, budget int64, mkMech func(c *cluster.Cluster) rfork
 	p := params.Default()
 	p.NodeDRAMBytes = 1 << 30
 	p.CXLBytes = 1 << 30
-	c := cluster.New(p, 2)
+	c := cluster.MustNew(p, 2)
 	cfg := porter.Config{
 		Mechanism:       mkMech(c),
 		Profiles:        profiles(mechName),
@@ -178,7 +178,7 @@ func TestObjectStore(t *testing.T) {
 	p := params.Default()
 	p.NodeDRAMBytes = 256 << 20
 	p.CXLBytes = 256 << 20
-	c := cluster.New(p, 1)
+	c := cluster.MustNew(p, 1)
 	mech := core.New(c.Dev)
 	spec := tinySpec()
 	faas.RegisterFiles(c.FS, p, spec)
@@ -226,7 +226,7 @@ func TestReclaimLargest(t *testing.T) {
 	p := params.Default()
 	p.NodeDRAMBytes = 512 << 20
 	p.CXLBytes = 512 << 20
-	c := cluster.New(p, 1)
+	c := cluster.MustNew(p, 1)
 	mech := core.New(c.Dev)
 	st := porter.NewObjectStore()
 	sizes := map[string]int64{}

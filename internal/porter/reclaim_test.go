@@ -20,7 +20,7 @@ func TestCXLPressureReclaim(t *testing.T) {
 	// Tight device: Tiny's checkpoint (~8 MB + scratch + metadata) plus
 	// filler pushes past 90%.
 	p.CXLBytes = 24 << 20
-	c := cluster.New(p, 2)
+	c := cluster.MustNew(p, 2)
 	cfg := porter.Config{
 		Mechanism: core.New(c.Dev),
 		Profiles:  profiles("CXLfork"),

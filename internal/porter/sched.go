@@ -1,10 +1,12 @@
 package porter
 
 import (
+	"errors"
 	"sort"
 
 	"cxlfork/internal/azure"
 	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
 	"cxlfork/internal/metrics"
 	"cxlfork/internal/rfork"
 )
@@ -65,6 +67,14 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	p.observeMem()
 	eng.Run()
 	p.res.Duration = p.lastDone - base
+
+	// Availability accounting: mirror the cluster plan's fault counters
+	// (which cover Setup as well as the trace) into the results.
+	fc := &p.c.Faults.Counters
+	p.res.InjectedFaults = fc.Injected.Value()
+	p.res.Retries = fc.Retries.Value()
+	p.res.Fallbacks = fc.Fallbacks.Value()
+	p.res.RecoveredBytes = fc.RecoveredBytes.Value()
 	return p.res
 }
 
@@ -149,30 +159,56 @@ func (p *Porter) serve(inst *instance, req *pending) {
 }
 
 // trySpawn starts a new instance of fn to serve req. It returns false
-// when neither memory nor checkpoints allow it right now.
+// when neither memory nor checkpoints allow it right now. Injected
+// restore faults degrade gracefully: a crashed target node is excluded
+// and the restore retried elsewhere; a transient device-full falls back
+// to a scratch cold start.
 func (p *Porter) trySpawn(fn string, req *pending) bool {
 	st := p.fns[fn]
 	_, haveCkpt := p.store.Get(p.cfg.User, fn)
+	excluded := make(map[*nodeState]bool)
 
 	pol := st.policy
 	var prof Profile
 	var pages int
 	var dur des.Time
 	var remoteCopy des.Time
-	if haveCkpt {
-		prof = p.profile(fn, pol)
-		pages = prof.LocalPages
-		remoteCopy = p.jitter(prof.RemoteCopy)
-		dur = p.jitter(prof.Restore + prof.ColdExec - prof.RemoteCopy)
-	} else {
-		prof = p.profile(fn, rfork.MigrateOnWrite)
-		pages = prof.FootprintPages
-		dur = p.jitter(prof.ColdInit + prof.ColdInitExec)
-	}
+	var node *nodeState
+	var useGhost bool
+	for {
+		if haveCkpt {
+			prof = p.profile(fn, pol)
+			pages = prof.LocalPages
+			remoteCopy = p.jitter(prof.RemoteCopy)
+			dur = p.jitter(prof.Restore + prof.ColdExec - prof.RemoteCopy)
+		} else {
+			prof = p.profile(fn, rfork.MigrateOnWrite)
+			pages = prof.FootprintPages
+			remoteCopy = 0
+			dur = p.jitter(prof.ColdInit + prof.ColdInitExec)
+		}
 
-	node, useGhost := p.placeOn(fn, pages)
-	if node == nil {
-		return false
+		node, useGhost = p.placeOn(fn, pages, excluded)
+		if node == nil {
+			return false
+		}
+		if !haveCkpt {
+			break
+		}
+		err := p.c.Faults.At(faultinject.StepPorterRestore, node.os.Index)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, rfork.ErrNodeDown) {
+			// The restore target died: retry on an alternate node.
+			excluded[node] = true
+			p.c.Faults.Counters.Retries.Inc()
+			continue
+		}
+		// Transient device-full (or other image trouble): degrade this
+		// spawn to a scratch cold start, which needs no device capacity.
+		haveCkpt = false
+		p.c.Faults.Counters.Fallbacks.Inc()
 	}
 	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
 	ownsCtr := false
@@ -233,11 +269,18 @@ func (p *Porter) replenishGhosts(node *nodeState, fn string) {
 }
 
 // placeOn picks a node with a free ghost (preferred) and enough memory,
-// evicting idle instances if necessary. It returns (nil, false) when no
-// node can host the instance.
-func (p *Porter) placeOn(fn string, pages int) (*nodeState, bool) {
+// evicting idle instances if necessary. Crashed nodes and nodes in
+// excluded are never candidates. It returns (nil, false) when no node
+// can host the instance.
+func (p *Porter) placeOn(fn string, pages int, excluded map[*nodeState]bool) (*nodeState, bool) {
 	// Prefer nodes with a ghost for fn and room, least loaded first.
-	cands := append([]*nodeState(nil), p.nodes...)
+	cands := make([]*nodeState, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		if excluded[n] || p.c.Faults.NodeDown(n.os.Index) {
+			continue
+		}
+		cands = append(cands, n)
+	}
 	sort.SliceStable(cands, func(i, j int) bool {
 		return cands[i].cpu.Busy()+cands[i].cpu.QueueLen() < cands[j].cpu.Busy()+cands[j].cpu.QueueLen()
 	})

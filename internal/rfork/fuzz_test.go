@@ -1,6 +1,29 @@
 package rfork
 
-import "testing"
+import (
+	"testing"
+
+	"cxlfork/internal/vma"
+	"cxlfork/internal/wire"
+)
+
+// corruptedCorpus derives torn and bit-flipped variants of a well-formed
+// record, mirroring the damage a crashed or faulty writer leaves behind.
+func corruptedCorpus(f *testing.F, good []byte) {
+	f.Add(good)
+	for _, n := range []int{0, 1, len(good) / 2, len(good) - 1} {
+		if n >= 0 && n <= len(good) {
+			f.Add(good[:n])
+		}
+	}
+	for _, i := range []int{0, len(good) / 2, len(good) - 1} {
+		if i >= 0 && i < len(good) {
+			bad := append([]byte(nil), good...)
+			bad[i] ^= 0x10 // flip a varint/continuation bit
+			f.Add(bad)
+		}
+	}
+}
 
 // FuzzDecodeGlobalState checks the global-state decoder never panics on
 // arbitrary input — a corrupted checkpoint must surface as an error.
@@ -10,7 +33,7 @@ func FuzzDecodeGlobalState(f *testing.F) {
 		Mounts: []string{"/"},
 		PIDNS:  "pidns",
 	}
-	f.Add(gs.Encode())
+	corruptedCorpus(f, gs.Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -22,7 +45,32 @@ func FuzzDecodeGlobalState(f *testing.F) {
 func FuzzDecodeVMA(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x08, 0x02, 0x10, 0x80})
+	corruptedCorpus(f, EncodeVMA(vma.VMA{
+		Start: 0x10000, End: 0x14000,
+		Prot: vma.Read | vma.Write, Kind: vma.Anon, Name: "[heap]",
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeVMA(data)
+	})
+}
+
+// FuzzRestoreGlobalStateEnvelope drives the full restore-side pipeline
+// — open the checksummed envelope, then decode the global state — the
+// way every mechanism's Restore does. Whatever the damage, the pipeline
+// must return an error, never panic, and never accept a payload whose
+// checksum does not verify.
+func FuzzRestoreGlobalStateEnvelope(f *testing.F) {
+	gs := GlobalState{
+		FDs:    []FDRecord{{Num: 3, Path: "/x", Perm: 0o644}, {Num: 4, Path: "sock:inv", Perm: 0o600}},
+		Mounts: []string{"/", "/proc"},
+		PIDNS:  "pidns-7",
+	}
+	corruptedCorpus(f, wire.SealEnvelope(gs.Encode()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := wire.OpenEnvelope(data)
+		if err != nil {
+			return
+		}
+		_, _ = DecodeGlobalState(payload)
 	})
 }

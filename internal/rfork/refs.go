@@ -1,0 +1,58 @@
+package rfork
+
+import "errors"
+
+// Sentinel errors shared by the restore paths of all three mechanisms.
+// Restores validate an image before mutating the child task and surface
+// damage through these instead of panicking, so the autoscaler can
+// classify a failure (retry elsewhere, recover the device, degrade to a
+// cold start) without string matching.
+var (
+	// ErrTornImage marks an image whose checkpoint never reached its
+	// seal: the publishing node died mid-sequence and the partial state
+	// must be garbage-collected, never restored.
+	ErrTornImage = errors.New("rfork: torn image (checkpoint was never sealed)")
+	// ErrImageCorrupt marks an image whose serialized records fail their
+	// checksums or cannot be decoded.
+	ErrImageCorrupt = errors.New("rfork: image corrupt")
+	// ErrNodeDown marks an operation that targeted (or was executing on)
+	// a crashed node.
+	ErrNodeDown = errors.New("rfork: node down")
+)
+
+// RefCount is the reference counter embedded by every Image
+// implementation. It centralizes the release discipline: images are
+// created with one reference, every live clone takes another, and the
+// storage is freed exactly once when the count reaches zero. Releasing
+// an already-dead image is a safe no-op rather than a panic — failure
+// paths (a retried checkpoint, an autoscaler teardown racing a clone
+// exit) may legitimately double-release.
+type RefCount struct {
+	n int
+}
+
+// NewRefCount returns a counter holding the creator's single reference.
+func NewRefCount() RefCount { return RefCount{n: 1} }
+
+// Count returns the current reference count.
+func (r *RefCount) Count() int { return r.n }
+
+// Retain adds a reference. Retaining a dead image is a bug (the storage
+// may already be reused) and panics.
+func (r *RefCount) Retain() {
+	if r.n <= 0 {
+		panic("rfork: Retain on dead image")
+	}
+	r.n++
+}
+
+// Release drops one reference and reports whether the caller should free
+// the image's storage now. On an already-dead image it returns false:
+// the first release won and the storage is gone.
+func (r *RefCount) Release() bool {
+	if r.n <= 0 {
+		return false
+	}
+	r.n--
+	return r.n == 0
+}

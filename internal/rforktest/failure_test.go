@@ -25,7 +25,7 @@ func tinyCluster(t *testing.T, dramBytes, cxlBytes int64) *icluster.Cluster {
 	p.NodeDRAMBytes = dramBytes
 	p.CXLBytes = cxlBytes
 	p.LLCBytes = 1 << 20
-	c := icluster.New(p, 2)
+	c := icluster.MustNew(p, 2)
 	c.FS.Create(LibPath, int64(LibPages*p.PageSize))
 	if err := c.WarmAll(LibPath); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,298 @@
+package rforktest
+
+import (
+	"errors"
+	"testing"
+
+	"cxlfork/internal/core"
+	"cxlfork/internal/criu"
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faultinject"
+	"cxlfork/internal/mitosis"
+	"cxlfork/internal/rfork"
+
+	icluster "cxlfork/internal/cluster"
+)
+
+// faultyMechs builds each mechanism wired to the cluster's fault plan.
+func faultyMechs(c *icluster.Cluster) map[string]rfork.Mechanism {
+	coreMech := core.New(c.Dev)
+	coreMech.Faults = c.Faults
+	criuMech := criu.New(c.CXLFS)
+	criuMech.Faults = c.Faults
+	mitMech := mitosis.New()
+	mitMech.Faults = c.Faults
+	return map[string]rfork.Mechanism{
+		"CXLfork":     coreMech,
+		"CRIU-CXL":    criuMech,
+		"Mitosis-CXL": mitMech,
+	}
+}
+
+// TestKillMidCheckpointRecovery is the acceptance scenario for torn
+// checkpoints: node 0 crashes between the page-table stage and the
+// global-state seal, leaving a staged (unsealed) arena on the device.
+// Device.Recover reclaims 100% of it, and a retried checkpoint+restore
+// on the surviving node succeeds. The whole scenario is deterministic:
+// the same seed yields identical virtual-time results.
+func TestKillMidCheckpointRecovery(t *testing.T) {
+	run := func(seed int64) des.Time {
+		c := NewCluster(t)
+		c.Faults.Reseed(seed)
+		mech := core.New(c.Dev)
+		mech.Faults = c.Faults
+
+		parent := BuildParent(t, c)
+		baseline := c.Dev.UsedBytes()
+		before := c.Eng.Now()
+
+		// Crash node 0 after its PT stage, right before the publication
+		// commit.
+		c.Faults.Inject(faultinject.Rule{
+			Kind: faultinject.CrashNode,
+			Step: faultinject.StepCheckpointGlobal,
+			Node: 0,
+		})
+		_, err := mech.Checkpoint(parent, "doomed")
+		if !errors.Is(err, rfork.ErrNodeDown) {
+			t.Fatalf("checkpoint on crashing node: got %v, want ErrNodeDown", err)
+		}
+		if !c.Faults.NodeDown(0) {
+			t.Fatal("node 0 not marked down after injected crash")
+		}
+		// The copy work before the crash really happened: virtual time
+		// advanced and the torn arena still occupies the device.
+		if c.Eng.Now() <= before {
+			t.Fatal("crash charged no virtual time for work done before it")
+		}
+		torn := c.Dev.UsedBytes() - baseline
+		if torn <= 0 {
+			t.Fatal("crash left no torn state on the device")
+		}
+
+		// Garbage-collect the unsealed arena: 100% reclaimed.
+		st := c.Dev.Recover()
+		if st.Arenas != 1 {
+			t.Fatalf("Recover found %d arenas, want 1", st.Arenas)
+		}
+		if st.Total() != torn {
+			t.Fatalf("Recover reclaimed %d bytes of %d torn", st.Total(), torn)
+		}
+		if got := c.Dev.UsedBytes(); got != baseline {
+			t.Fatalf("device at %d bytes after Recover, baseline %d", got, baseline)
+		}
+
+		// Retry on the surviving node: checkpoint and restore succeed and
+		// the clone's content is intact.
+		parent2 := BuildParentOn(t, c, 1)
+		snap := SnapshotTokens(parent2)
+		img, err := mech.Checkpoint(parent2, "retry")
+		if err != nil {
+			t.Fatalf("retried checkpoint on surviving node: %v", err)
+		}
+		child := c.Node(1).NewTask("clone")
+		if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+			t.Fatalf("restore on surviving node: %v", err)
+		}
+		VerifyCloneContent(t, child, snap)
+		return c.Eng.Now()
+	}
+
+	t1 := run(42)
+	t2 := run(42)
+	if t1 != t2 {
+		t.Fatalf("same seed, different virtual time: %d vs %d", t1, t2)
+	}
+}
+
+// TestDeviceFullRollbackAtEveryStage verifies that a transient
+// device-full injected at each checkpoint stage rolls staging back so
+// device occupancy is exactly unchanged, and that the very next attempt
+// succeeds (the fault was transient).
+func TestDeviceFullRollbackAtEveryStage(t *testing.T) {
+	steps := []string{
+		faultinject.StepCheckpointVMA,
+		faultinject.StepCheckpointPT,
+		faultinject.StepCheckpointGlobal,
+	}
+	for _, step := range steps {
+		t.Run(step, func(t *testing.T) {
+			c := NewCluster(t)
+			mech := core.New(c.Dev)
+			mech.Faults = c.Faults
+			parent := BuildParent(t, c)
+			baseline := c.Dev.UsedBytes()
+			before := c.Eng.Now()
+
+			c.Faults.Inject(faultinject.Rule{
+				Kind: faultinject.DeviceFull,
+				Step: step,
+				Node: 0,
+			})
+			_, err := mech.Checkpoint(parent, "wontfit")
+			if !errors.Is(err, cxl.ErrDeviceFull) {
+				t.Fatalf("got %v, want ErrDeviceFull", err)
+			}
+			if got := c.Dev.UsedBytes(); got != baseline {
+				t.Fatalf("occupancy %d after rollback, want %d", got, baseline)
+			}
+			if c.Eng.Now() != before {
+				t.Fatal("rolled-back checkpoint charged virtual time")
+			}
+
+			// The injection fired once; the retry goes through.
+			img, err := mech.Checkpoint(parent, "retry")
+			if err != nil {
+				t.Fatalf("retry after transient fault: %v", err)
+			}
+			img.Release()
+			if got := c.Dev.UsedBytes(); got != baseline {
+				t.Fatalf("occupancy %d after release, want %d", got, baseline)
+			}
+		})
+	}
+}
+
+// TestCorruptedImageRejected verifies every mechanism detects a
+// bit-flipped checkpoint record via its checksummed envelope and fails
+// restore with ErrImageCorrupt before touching the child.
+func TestCorruptedImageRejected(t *testing.T) {
+	for _, name := range []string{"CXLfork", "CRIU-CXL", "Mitosis-CXL"} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCluster(t)
+			mech := faultyMechs(c)[name]
+			parent := BuildParent(t, c)
+			c.Faults.Inject(faultinject.Rule{
+				Kind:   faultinject.CorruptBlob,
+				Step:   faultinject.StepCheckpointGlobal,
+				Node:   faultinject.AnyNode,
+				Target: "poisoned",
+			})
+			img, err := mech.Checkpoint(parent, "poisoned")
+			if err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			child := c.Node(1).NewTask("clone")
+			err = mech.Restore(child, img, rfork.Options{})
+			if !errors.Is(err, rfork.ErrImageCorrupt) {
+				t.Fatalf("restore of corrupted image: got %v, want ErrImageCorrupt", err)
+			}
+			if n := child.MM.VMAs.Count(); n != 0 {
+				t.Fatalf("failed restore left %d VMAs in the child", n)
+			}
+		})
+	}
+}
+
+// TestFabricDegradeSlowsCheckpoint verifies a degradation window
+// multiplies CXL transfer costs: the same checkpoint takes strictly
+// longer in virtual time under an injected FabricDegrade.
+func TestFabricDegradeSlowsCheckpoint(t *testing.T) {
+	elapsed := func(degrade bool) des.Time {
+		c := NewCluster(t)
+		mech := core.New(c.Dev)
+		mech.Faults = c.Faults
+		if degrade {
+			c.Faults.Inject(faultinject.Rule{
+				Kind:   faultinject.FabricDegrade,
+				Step:   faultinject.StepCheckpointPT,
+				Node:   faultinject.AnyNode,
+				Factor: 8,
+				Window: des.Time(1) << 40,
+			})
+		}
+		parent := BuildParent(t, c)
+		start := c.Eng.Now()
+		img, err := mech.Checkpoint(parent, "ck")
+		if err != nil {
+			t.Fatal(err)
+		}
+		img.Release()
+		return c.Eng.Now() - start
+	}
+	slow, fast := elapsed(true), elapsed(false)
+	if slow <= fast {
+		t.Fatalf("degraded checkpoint took %d, undegraded %d", slow, fast)
+	}
+}
+
+// TestDoubleReleaseIsNoOp is the regression test for the shared
+// refcount helper: releasing an already-dead image must be a no-op for
+// every mechanism, not a panic or a double free.
+func TestDoubleReleaseIsNoOp(t *testing.T) {
+	for _, name := range []string{"CXLfork", "CRIU-CXL", "Mitosis-CXL"} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCluster(t)
+			mech := faultyMechs(c)[name]
+			parent := BuildParent(t, c)
+			img, err := mech.Checkpoint(parent, "once")
+			if err != nil {
+				t.Fatal(err)
+			}
+			img.Release()
+			if img.Refs() != 0 {
+				t.Fatalf("refs = %d after release", img.Refs())
+			}
+			img.Release() // must not panic or double-free
+			img.Release()
+			if img.Refs() < 0 {
+				t.Fatalf("refs went negative: %d", img.Refs())
+			}
+		})
+	}
+}
+
+// TestRestoreOnDownNodeFails verifies the step-boundary check: any
+// restore attempted on a crashed node fails with ErrNodeDown instead of
+// running on a ghost.
+func TestRestoreOnDownNodeFails(t *testing.T) {
+	c := NewCluster(t)
+	mech := core.New(c.Dev)
+	mech.Faults = c.Faults
+	parent := BuildParent(t, c)
+	img, err := mech.Checkpoint(parent, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Faults.CrashNode(1)
+	child := c.Node(1).NewTask("clone")
+	if err := mech.Restore(child, img, rfork.Options{}); !errors.Is(err, rfork.ErrNodeDown) {
+		t.Fatalf("restore on down node: got %v, want ErrNodeDown", err)
+	}
+	// The sealed checkpoint survives the crash; node 0 restores fine.
+	child0 := c.Node(0).NewTask("clone0")
+	if err := mech.Restore(child0, img, rfork.Options{}); err != nil {
+		t.Fatalf("restore on surviving node: %v", err)
+	}
+}
+
+// TestMitosisParentCoupling verifies Mitosis' central constraint
+// (paper §3.1): its image lives in the parent node's memory, so a
+// restore after the parent node crashes fails with ErrNodeDown — while
+// CXLfork's device-resident checkpoint survives the same crash.
+func TestMitosisParentCoupling(t *testing.T) {
+	c := NewCluster(t)
+	mechs := faultyMechs(c)
+	parent := BuildParent(t, c)
+
+	mImg, err := mechs["Mitosis-CXL"].Checkpoint(parent, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cImg, err := mechs["CXLfork"].Checkpoint(parent, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.Faults.CrashNode(0) // the parent node
+
+	child := c.Node(1).NewTask("m-clone")
+	if err := mechs["Mitosis-CXL"].Restore(child, mImg, rfork.Options{}); !errors.Is(err, rfork.ErrNodeDown) {
+		t.Fatalf("Mitosis restore with dead parent: got %v, want ErrNodeDown", err)
+	}
+	child2 := c.Node(1).NewTask("c-clone")
+	if err := mechs["CXLfork"].Restore(child2, cImg, rfork.Options{}); err != nil {
+		t.Fatalf("CXLfork restore after parent crash: %v", err)
+	}
+}

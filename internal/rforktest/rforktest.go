@@ -38,7 +38,7 @@ func NewCluster(t testing.TB) *cluster.Cluster {
 	p.NodeDRAMBytes = 256 << 20
 	p.CXLBytes = 256 << 20
 	p.LLCBytes = 2 << 20
-	c := cluster.New(p, 2)
+	c := cluster.MustNew(p, 2)
 	c.FS.Create(LibPath, int64(LibPages*p.PageSize))
 	if err := c.WarmAll(LibPath); err != nil {
 		t.Fatal(err)
@@ -53,7 +53,14 @@ func NewCluster(t testing.TB) *cluster.Cluster {
 // RO region, writes on the RW region).
 func BuildParent(t testing.TB, c *cluster.Cluster) *kernel.Task {
 	t.Helper()
-	o := c.Node(0)
+	return BuildParentOn(t, c, 0)
+}
+
+// BuildParentOn is BuildParent on an arbitrary cluster node, for
+// scenarios that exercise cross-node failover.
+func BuildParentOn(t testing.TB, c *cluster.Cluster, node int) *kernel.Task {
+	t.Helper()
+	o := c.Node(node)
 	parent := o.NewTask("parent")
 
 	mustMmap(t, parent, vma.VMA{

@@ -1,6 +1,10 @@
 package wire
 
-import "testing"
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
 
 // FuzzDecoder exercises the decoder against arbitrary byte streams: it
 // must never panic or loop, only return data or ErrCorrupt.
@@ -24,6 +28,44 @@ func FuzzDecoder(f *testing.F) {
 			if err := d.Skip(wt); err != nil {
 				return
 			}
+		}
+	})
+}
+
+// FuzzOpenEnvelope exercises the checksummed envelope against the
+// corrupted-checkpoint corpus: truncated records, bit-flipped varints,
+// and bad checksums. The invariants: OpenEnvelope never panics, every
+// failure wraps ErrCorrupt, and a pristine re-seal of whatever payload
+// it accepts must round-trip.
+func FuzzOpenEnvelope(f *testing.F) {
+	payload := []byte("global-state: fds=4 mounts=/ pidns=init")
+	sealed := SealEnvelope(payload)
+	f.Add(sealed)
+	f.Add(SealEnvelope(nil))
+	// Truncations at several depths (torn writes).
+	for _, n := range []int{0, 1, 2, len(sealed) / 2, len(sealed) - 1} {
+		f.Add(sealed[:n])
+	}
+	// Bit-flipped key varint, payload byte, and checksum byte.
+	for _, i := range []int{0, 3, len(sealed) - 1} {
+		bad := append([]byte(nil), sealed...)
+		bad[i] ^= 0x40
+		f.Add(bad)
+	}
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := OpenEnvelope(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted payloads must survive a seal/open round trip.
+		again, err := OpenEnvelope(SealEnvelope(got))
+		if err != nil || !bytes.Equal(again, got) {
+			t.Fatalf("round trip failed: %v", err)
 		}
 	})
 }

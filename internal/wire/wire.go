@@ -20,6 +20,11 @@ const (
 // ErrCorrupt is returned when a buffer cannot be decoded.
 var ErrCorrupt = errors.New("wire: corrupt buffer")
 
+// ErrChecksum is returned when an envelope's payload hash does not match
+// its recorded checksum. It wraps ErrCorrupt, so callers that only care
+// about "this image is bad" can test for ErrCorrupt alone.
+var ErrChecksum = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+
 // Encoder appends tagged fields to a buffer.
 type Encoder struct {
 	buf []byte
@@ -164,6 +169,74 @@ func (d *Decoder) Bytes() ([]byte, error) {
 func (d *Decoder) String() (string, error) {
 	b, err := d.Bytes()
 	return string(b), err
+}
+
+// Checksum returns the FNV-1a 64-bit hash of b, the per-record checksum
+// the checkpoint formats store next to their serialized payloads.
+func Checksum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Envelope field tags.
+const (
+	envFieldPayload = 1
+	envFieldSum     = 2
+)
+
+// SealEnvelope wraps payload in a checksummed envelope. Decoders call
+// OpenEnvelope to verify the hash before the payload is interpreted, so
+// a torn or bit-flipped checkpoint record surfaces as an error instead
+// of silently restoring garbage state.
+func SealEnvelope(payload []byte) []byte {
+	e := NewEncoder()
+	e.PutBytes(envFieldPayload, payload)
+	e.PutUint(envFieldSum, Checksum(payload))
+	return e.Bytes()
+}
+
+// OpenEnvelope verifies and unwraps a SealEnvelope buffer. It returns
+// ErrChecksum when the hash does not match or the envelope is missing
+// either field, and ErrCorrupt when the framing itself cannot be parsed.
+func OpenEnvelope(b []byte) ([]byte, error) {
+	d := NewDecoder(b)
+	var payload []byte
+	var sum uint64
+	var havePayload, haveSum bool
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case envFieldPayload:
+			payload, err = d.Bytes()
+			havePayload = true
+		case envFieldSum:
+			sum, err = d.Uint()
+			haveSum = true
+		default:
+			err = d.Skip(wt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !havePayload || !haveSum {
+		return nil, fmt.Errorf("%w: incomplete envelope", ErrChecksum)
+	}
+	if got := Checksum(payload); got != sum {
+		return nil, fmt.Errorf("%w: payload hash %#x, recorded %#x", ErrChecksum, got, sum)
+	}
+	return payload, nil
 }
 
 // Skip discards a payload of the given wire type.

@@ -11,7 +11,7 @@ func mkCluster() *cluster.Cluster {
 	p := params.Default()
 	p.NodeDRAMBytes = 256 << 20
 	p.CXLBytes = 256 << 20
-	return cluster.New(p, 2)
+	return cluster.MustNew(p, 2)
 }
 
 func TestByReferenceZeroCopy(t *testing.T) {
