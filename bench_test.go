@@ -417,6 +417,31 @@ func BenchmarkAblationGhostContainers(b *testing.B) {
 	}
 }
 
+// laneBench runs the lane sweep once per iteration and reports the
+// per-page virtual costs at the given lane count; the cxlbench command
+// persists the same numbers to BENCH_PR2.json for CI regression diffs.
+func laneBench(b *testing.B, lanes int) {
+	p := experiments.ExpParams()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	p.CheckpointAfter = 2
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.LaneSweep(p, "Float", []int{lanes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt := r.Points[0]
+		b.ReportMetric(pt.CheckpointNsPerPage(), "ckpt-ns/page")
+		b.ReportMetric(pt.RestoreNsPerPage(), "restore-ns/page")
+		b.ReportMetric(float64(pt.DedupBytesSaved>>20), "dedup-saved-mb")
+	}
+}
+
+func BenchmarkLaneCheckpoint1(b *testing.B) { laneBench(b, 1) }
+func BenchmarkLaneCheckpoint2(b *testing.B) { laneBench(b, 2) }
+func BenchmarkLaneCheckpoint4(b *testing.B) { laneBench(b, 4) }
+func BenchmarkLaneCheckpoint8(b *testing.B) { laneBench(b, 8) }
+
 func BenchmarkScaleDedup(b *testing.B) {
 	// Extension experiment: cluster-wide deduplication vs clone count.
 	p := experiments.ExpParams()

@@ -1,0 +1,122 @@
+// Command cxlbench is the bench regression harness for the parallel
+// checkpoint/restore pipeline. It runs the lane-count sweep on a fixed
+// seeded workload and writes per-lane checkpoint/restore costs
+// (virtual ns per page) plus dedup counters as JSON, so CI can diff the
+// numbers against a previous run and catch cost-model regressions.
+//
+// Usage:
+//
+//	cxlbench                        # sweep Float over 1/2/4/8 lanes
+//	cxlbench -fn Rnn -lanes 1,4     # another workload / lane set
+//	cxlbench -o BENCH_PR2.json      # write the report (default)
+//	cxlbench -full                  # paper-scale capacities and warmup
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cxlfork/internal/experiments"
+	"cxlfork/internal/params"
+)
+
+// benchPoint is one lane count's costs in the JSON report. All times
+// are virtual (simulated) nanoseconds: they are exactly reproducible,
+// so any change is a real cost-model change, not machine noise.
+type benchPoint struct {
+	Lanes            int     `json:"lanes"`
+	CheckpointNs     int64   `json:"checkpoint_ns"`
+	CheckpointNsPage float64 `json:"checkpoint_ns_per_page"`
+	RecheckpointNs   int64   `json:"recheckpoint_ns"`
+	RestoreNs        int64   `json:"restore_ns"`
+	RestoreNsPage    float64 `json:"restore_ns_per_page"`
+	Speedup          float64 `json:"speedup_vs_1_lane"`
+	DedupHits        int64   `json:"dedup_hits"`
+	DedupMisses      int64   `json:"dedup_misses"`
+	DedupBytesSaved  int64   `json:"dedup_bytes_saved"`
+}
+
+// benchReport is the BENCH_PR2.json schema.
+type benchReport struct {
+	Function string       `json:"function"`
+	Pages    int          `json:"pages"`
+	Points   []benchPoint `json:"points"`
+}
+
+func main() {
+	fn := flag.String("fn", "Float", "function to sweep")
+	lanesArg := flag.String("lanes", "1,2,4,8", "comma-separated lane counts")
+	out := flag.String("o", "BENCH_PR2.json", "output JSON path (- for stdout)")
+	full := flag.Bool("full", false, "paper-scale capacities and full 16-invocation warmup (slow)")
+	flag.Parse()
+
+	var laneCounts []int
+	for _, s := range strings.Split(*lanesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "cxlbench: bad lane count %q\n", s)
+			os.Exit(2)
+		}
+		laneCounts = append(laneCounts, n)
+	}
+
+	p := experiments.ExpParams()
+	if !*full {
+		// CI sizing: capacities just big enough for the small workloads
+		// and a short warmup. Virtual-time results stay deterministic;
+		// only wall-clock cost changes.
+		p = ciParams(p)
+	}
+
+	r, err := experiments.LaneSweep(p, *fn, laneCounts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprint(os.Stderr, experiments.FormatLaneSweep(r))
+
+	rep := benchReport{Function: r.Function, Pages: r.Points[0].Pages}
+	for i, pt := range r.Points {
+		rep.Points = append(rep.Points, benchPoint{
+			Lanes:            pt.Lanes,
+			CheckpointNs:     int64(pt.Checkpoint),
+			CheckpointNsPage: pt.CheckpointNsPerPage(),
+			RecheckpointNs:   int64(pt.Recheckpoint),
+			RestoreNs:        int64(pt.Restore),
+			RestoreNsPage:    pt.RestoreNsPerPage(),
+			Speedup:          r.Speedup(i),
+			DedupHits:        pt.DedupHits,
+			DedupMisses:      pt.DedupMisses,
+			DedupBytesSaved:  pt.DedupBytesSaved,
+		})
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// ciParams shrinks pool capacities and the warmup so a sweep finishes
+// in about a second.
+func ciParams(p params.Params) params.Params {
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	p.CheckpointAfter = 2
+	return p
+}

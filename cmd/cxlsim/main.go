@@ -21,7 +21,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, all")
+	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
 	rps := flag.Float64("rps", 150, "fig10: aggregate request rate")
 	duration := flag.Float64("duration", 60, "fig10: trace duration in seconds")
@@ -107,6 +108,12 @@ func main() {
 				return err
 			}
 			r.Render(w)
+		case "lanes":
+			r, err := experiments.LaneSweep(p, *lanesFn, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, experiments.FormatLaneSweep(r))
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

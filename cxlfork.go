@@ -71,6 +71,13 @@ type Config struct {
 	LLC int64
 	// Cores is the number of cores per node.
 	Cores int
+	// CheckpointLanes is the number of worker lanes checkpoint pipelines
+	// shard across; 0 keeps the single-lane default (the sequential
+	// accounting). Lanes contend on the fabric's copy streams, so the
+	// speedup is sub-linear past a few lanes.
+	CheckpointLanes int
+	// RestoreLanes is the restore-side lane count; 0 keeps one lane.
+	RestoreLanes int
 	// Seed drives all randomized behaviour (deterministic by default).
 	Seed int64
 }
@@ -106,6 +113,12 @@ func (c Config) params() params.Params {
 	}
 	if c.Cores > 0 {
 		p.CoresPerNode = c.Cores
+	}
+	if c.CheckpointLanes > 0 {
+		p.CheckpointLanes = c.CheckpointLanes
+	}
+	if c.RestoreLanes > 0 {
+		p.RestoreLanes = c.RestoreLanes
 	}
 	return p
 }
@@ -570,5 +583,35 @@ func (s *System) FaultStats() FaultStats {
 		Retries:        c.Retries.Value(),
 		Fallbacks:      c.Fallbacks.Value(),
 		RecoveredBytes: c.RecoveredBytes.Value(),
+	}
+}
+
+// DedupStats summarizes the CXL device's content-addressed frame dedup
+// cache: checkpoint page writes satisfied by an existing identical
+// frame (Hits) vs. fresh copies (Misses), and the fabric write bytes
+// hits elided. Repeated checkpoints of the same function dedup almost
+// entirely against the first image.
+type DedupStats struct {
+	Hits       int64
+	Misses     int64
+	BytesSaved int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no lookups.
+func (d DedupStats) HitRate() float64 {
+	total := d.Hits + d.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Hits) / float64(total)
+}
+
+// DedupStats returns the device's frame-dedup counters.
+func (s *System) DedupStats() DedupStats {
+	c := &s.c.Dev.Dedup
+	return DedupStats{
+		Hits:       c.Hits.Value(),
+		Misses:     c.Misses.Value(),
+		BytesSaved: c.BytesSaved.Value(),
 	}
 }

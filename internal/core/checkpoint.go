@@ -50,6 +50,7 @@ type Checkpoint struct {
 	dirtyPages int
 	filePages  int
 	vmaCount   int
+	dedupHits  int
 
 	refs rfork.RefCount
 }
@@ -84,6 +85,10 @@ func (c *Checkpoint) FilePages() int { return c.filePages }
 
 // VMACount returns the number of checkpointed VMAs.
 func (c *Checkpoint) VMACount() int { return c.vmaCount }
+
+// DedupHits returns how many of this checkpoint's pages were satisfied
+// by the device's content-addressed frame cache instead of a fresh copy.
+func (c *Checkpoint) DedupHits() int { return c.dedupHits }
 
 // PTLeaves returns the number of checkpointed page-table leaves.
 func (c *Checkpoint) PTLeaves() int { return len(c.ptLeaves) }
@@ -212,14 +217,17 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	}
 	ck := &Checkpoint{id: id, dev: m.Dev, arena: arena, refs: rfork.NewRefCount()}
 	pool := m.Dev.Pool()
-	var cost des.Time
+	lanes := p.CheckpointLanes
+	var cost des.Time // lane-independent serial work
+	var shards []des.Shard
 
 	// Task and MM descriptors (steps 1-3): native memory copies.
 	cost += p.StructCopy
 
-	// VMA tree leaves: copied as-is, marked immutable (step 2).
+	// VMA tree leaves: copied as-is, marked immutable (step 2). Each leaf
+	// is one lane shard of pure metadata work (no fabric units).
 	if err := m.Faults.At(faultinject.StepCheckpointVMA, node); err != nil {
-		return nil, m.checkpointFault(ck, o.Eng, cost, err)
+		return nil, m.checkpointFault(ck, o.Eng, cost+m.copyCost(lanes, shards), err)
 	}
 	var vmaErr error
 	srcVMAs := collectVMALeaves(parent)
@@ -234,7 +242,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 		}
 		ck.vmaLeaves = append(ck.vmaLeaves, off)
 		ck.vmaCount += len(ckLeaf.VMAs)
-		cost += des.Time(len(ckLeaf.VMAs)) * p.VMACheckpoint
+		shards = append(shards, des.Shard{Setup: des.Time(len(ckLeaf.VMAs)) * p.VMACheckpoint})
 	}
 	if vmaErr != nil {
 		ck.Release()
@@ -244,15 +252,23 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	// Page tables and data pages (steps 4-7): copy each leaf, copy each
 	// present page into a CXL frame, rewrite the PTE to the device PFN
 	// (read-only, CoW), preserving A/D and software bits — the rebase.
+	// Each leaf is one lane shard: PTE rebases are lane-local setup, page
+	// copies are fabric-stream units. A page whose content already lives
+	// on the device dedups against the existing frame: no fabric write,
+	// only the (lane-local) content hash. The degradation factor is a
+	// function of the current virtual time only, so hoisting it out of
+	// the walk charges exactly what the per-page form did.
 	if err := m.Faults.At(faultinject.StepCheckpointPT, node); err != nil {
-		return nil, m.checkpointFault(ck, o.Eng, cost, err)
+		return nil, m.checkpointFault(ck, o.Eng, cost+m.copyCost(lanes, shards), err)
 	}
+	pageCost := m.Faults.Scale(p.CXLWritePage)
 	var ptErr error
 	parent.MM.PT.WalkLeaves(func(base pt.VirtAddr, leaf *pt.Leaf) {
 		if ptErr != nil {
 			return
 		}
 		ckLeaf := &pt.Leaf{InCXL: true, Protected: true}
+		shard := des.Shard{UnitCost: pageCost}
 		for i := range leaf.PTEs {
 			e := leaf.PTEs[i]
 			if !e.Present() {
@@ -266,14 +282,19 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 			} else {
 				src = o.Mem.Frame(int(e.PFN))
 			}
-			dst, err := pool.Alloc()
+			dst, hit, err := m.Dev.DedupAlloc(src)
 			if err != nil {
 				ptErr = err
 				return
 			}
-			memsim.Copy(dst, src)
 			arena.TrackFrame(dst)
-			m.Dev.WriteBytes += int64(p.PageSize)
+			if hit {
+				ck.dedupHits++
+				shard.Setup += p.DedupHashPage
+			} else {
+				m.Dev.WriteBytes += int64(p.PageSize)
+				shard.Units++
+			}
 
 			keep := e.Flags & (pt.Accessed | pt.Dirty | pt.FileBacked | pt.UserHot)
 			ckLeaf.PTEs[i] = pt.PTE{
@@ -287,7 +308,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 			if e.Flags.Has(pt.FileBacked) {
 				ck.filePages++
 			}
-			cost += m.Faults.Scale(p.CXLWritePage) + p.PTERebase
+			shard.Setup += p.PTERebase
 		}
 		off, err := arena.Alloc(ckLeaf, int64(p.PageSize))
 		if err != nil {
@@ -295,11 +316,13 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 			return
 		}
 		ck.ptLeaves = append(ck.ptLeaves, ptLeafRef{base: base, off: off})
+		shards = append(shards, shard)
 	})
 	if ptErr != nil {
 		ck.Release()
 		return nil, ptErr
 	}
+	cost += m.copyCost(lanes, shards)
 
 	// Global state (step 8): light serialization of paths, permissions,
 	// mounts, PID namespace, and the register file, wrapped in a
@@ -328,6 +351,18 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	}
 	o.Eng.Advance(cost)
 	return ck, nil
+}
+
+// copyCost folds accumulated pipeline shards into virtual time. One
+// lane charges the exact serial sum — byte-identical to the historical
+// sequential accounting (see des.Makespan's contract and its tests).
+// Multiple lanes run the lane/fabric-stream contention model on the
+// device's private engine.
+func (m *Mechanism) copyCost(lanes int, shards []des.Shard) des.Time {
+	if lanes <= 1 {
+		return des.SerialTime(shards)
+	}
+	return m.Dev.CopyMakespan(lanes, shards)
 }
 
 // checkpointFault finishes a Checkpoint interrupted by an injected

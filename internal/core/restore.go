@@ -44,12 +44,16 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	if err != nil {
 		return err
 	}
-	var cost des.Time
+	lanes := p.RestoreLanes
+	var cost des.Time // lane-independent serial work
+	var shards []des.Shard
 
 	// Attach the MM descriptor view: the VMA leaves (§4.2.1). Global
 	// state for file VMAs is reconstructed lazily at first fault. The
 	// naive ablation reconstructs every VMA individually and eagerly
-	// instead.
+	// instead. Each leaf is one lane shard of metadata work; the shards
+	// fold into virtual time via copyCost below (one lane = the exact
+	// serial sum; several lanes = the device contention model).
 	if opts.NaivePTCopy {
 		for _, off := range ck.vmaLeaves {
 			leaf := cxl.Get[*vma.Leaf](ck.arena, off)
@@ -57,8 +61,8 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 				if _, err := child.MM.VMAs.Insert(v); err != nil {
 					return err
 				}
-				cost += p.VMAReconstruct
 			}
+			shards = append(shards, des.Shard{Setup: des.Time(len(leaf.VMAs)) * p.VMAReconstruct})
 		}
 	} else {
 		for _, off := range ck.vmaLeaves {
@@ -66,7 +70,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 			if err := child.MM.VMAs.AttachLeaf(leaf); err != nil {
 				return err
 			}
-			cost += p.VMALeafAttach
+			shards = append(shards, des.Shard{Setup: p.VMALeafAttach})
 		}
 		child.MM.LazyVMAs = true
 	}
@@ -77,7 +81,9 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 		if opts.NaivePTCopy {
 			// Ablation §4.2: copy every checkpointed leaf to local
 			// memory (read the table from CXL, write each entry)
-			// instead of attaching.
+			// instead of attaching. The CXL read of the leaf is the
+			// shard's one fabric unit; entry rewrites and upper-level
+			// allocation are lane-local.
 			for _, ref := range ck.ptLeaves {
 				leaf := cxl.Get[*pt.Leaf](ck.arena, ref.off)
 				local := leaf.Clone()
@@ -87,8 +93,11 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 					return err
 				}
 				newUppers := child.MM.PT.Stats().LocalUppers - before
-				cost += p.CXLReadPage + pt.EntriesPerTable*p.PTECopy +
-					des.Time(newUppers)*p.UpperTableInit
+				shards = append(shards, des.Shard{
+					Setup:    pt.EntriesPerTable*p.PTECopy + des.Time(newUppers)*p.UpperTableInit,
+					Units:    1,
+					UnitCost: p.CXLReadPage,
+				})
 			}
 		} else {
 			// Constant-time attach: allocate only the upper levels
@@ -100,7 +109,9 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 					return err
 				}
 				newUppers := child.MM.PT.Stats().LocalUppers - before
-				cost += p.LeafAttach + des.Time(newUppers)*p.UpperTableInit
+				shards = append(shards, des.Shard{
+					Setup: p.LeafAttach + des.Time(newUppers)*p.UpperTableInit,
+				})
 			}
 		}
 	case rfork.MigrateOnAccess, rfork.HybridTiering:
@@ -110,6 +121,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	default:
 		return fmt.Errorf("core: unknown tiering policy %v", opts.Policy)
 	}
+	cost += m.copyCost(lanes, shards)
 
 	// Redo global state from the light serialization (decoded and
 	// verified above, before the child was touched).

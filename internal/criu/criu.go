@@ -89,6 +89,12 @@ const (
 	pageFieldToken = 2
 )
 
+// pageShard is the page-dump granularity one worker lane claims at a
+// time, mirroring CRIU's page-pipe batches. Page serialization has no
+// per-VMA grouping in the image format, so lanes shard the flat page
+// run in these chunks.
+const pageShard = 128
+
 // Checkpoint serializes the full process state — OS metadata and every
 // non-clean-file memory page — into an image file on cxlfs.
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
@@ -128,8 +134,12 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 		pg.PutUint(pageFieldToken, src.Data)
 		enc.PutMessage(fieldPage, pg)
 		pages++
-		cost += m.Faults.Scale(p.CRIUPageSerialize)
 	})
+	// Page dumps run on the checkpoint lanes; the encoded stream goes to
+	// the in-CXL-memory filesystem, so the copies contend on the fabric
+	// streams. One lane charges the exact serial per-page sum.
+	cost += des.PipelineTime(p.CheckpointLanes, p.FabricStreams, p.LaneDispatch,
+		des.UniformShards(pages, pageShard, 0, m.Faults.Scale(p.CRIUPageSerialize)))
 
 	logical := int64(pages)*int64(p.PageSize) + int64(vmaCount+len(gs.FDs)+1)*64
 	file := "criu-" + id + ".img"
@@ -201,8 +211,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 			if err != nil {
 				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
-			vmas = append(vmas, v)
-			cost += p.CRIURecordDecode + p.VMAReconstruct
+			vmas = append(vmas, v) // decode+reconstruct cost folded into the lane pipeline below
 		case fieldGlobal:
 			b, err := d.Bytes()
 			if err != nil {
@@ -259,8 +268,16 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 		}
 		child.MM.MapFrame(va, f, flags)
 		o.Mem.Put(f) // MapFrame took the mapping reference
-		cost += m.Faults.Scale(p.CRIUPageRestore)
 	}
+	// VMA record decode/reconstruct and page copy-in run on the restore
+	// lanes, reading the image off the CXL filesystem through the fabric
+	// streams. Each VMA is one metadata shard; pages shard in chunks.
+	shards := make([]des.Shard, 0, len(vmas))
+	for range vmas {
+		shards = append(shards, des.Shard{Setup: p.CRIURecordDecode + p.VMAReconstruct})
+	}
+	shards = append(shards, des.UniformShards(len(pageRecs), pageShard, 0, m.Faults.Scale(p.CRIUPageRestore))...)
+	cost += des.PipelineTime(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards)
 
 	o.Eng.Advance(cost)
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"cxlfork/internal/memsim"
+	"cxlfork/internal/metrics"
 	"cxlfork/internal/params"
 )
 
@@ -45,6 +46,11 @@ type Device struct {
 	arenas    map[string]*Arena
 	metaBytes int64
 
+	// dedup is the content-addressed frame index (see dedup.go).
+	dedup map[uint64][]dedupEntry
+	// Dedup counts frame-dedup hits, misses, and fabric bytes saved.
+	Dedup metrics.DedupCounters
+
 	// Fabric traffic counters (bytes), for bandwidth analyses.
 	ReadBytes  int64
 	WriteBytes int64
@@ -56,6 +62,7 @@ func NewDevice(p params.Params) *Device {
 		p:      p,
 		pool:   memsim.NewPool("cxl", memsim.CXL, p.CXLBytes, p.PageSize),
 		arenas: make(map[string]*Arena),
+		dedup:  make(map[uint64][]dedupEntry),
 	}
 }
 
@@ -94,6 +101,19 @@ func (d *Device) Arena(name string) *Arena { return d.arenas[name] }
 
 // Arenas returns the number of live arenas.
 func (d *Device) Arenas() int { return len(d.arenas) }
+
+// ForEachArena visits every live arena in name order (deterministic),
+// for audits and invariant checkers.
+func (d *Device) ForEachArena(fn func(*Arena)) {
+	names := make([]string, 0, len(d.arenas))
+	for name := range d.arenas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn(d.arenas[name])
+	}
+}
 
 // RecoverStats reports what a Device.Recover pass reclaimed.
 type RecoverStats struct {
@@ -225,6 +245,15 @@ func (a *Arena) TrackFrame(f *memsim.Frame) {
 		panic(fmt.Sprintf("cxl: TrackFrame on released arena %q", a.name))
 	}
 	a.frames = append(a.frames, f)
+}
+
+// ForEachFrame visits every frame reference the arena owns, in tracking
+// order. A deduped frame shared by several images (or mapped at several
+// addresses of one image) is visited once per reference.
+func (a *Arena) ForEachFrame(fn func(*memsim.Frame)) {
+	for _, f := range a.frames {
+		fn(f)
+	}
 }
 
 // FrameBytes returns the bytes of data frames the arena owns.

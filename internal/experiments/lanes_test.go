@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cxlfork/internal/params"
+)
+
+// laneTestParams sizes the sweep for a test suite: capacities just big
+// enough for Float (24 MB footprint) so each fresh environment's frame
+// tables are cheap, and a trimmed warmup — lane scaling and dedup
+// behaviour do not depend on how warm the parent's A/D bits are.
+func laneTestParams() params.Params {
+	p := ExpParams()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	p.CheckpointAfter = 2
+	return p
+}
+
+// TestLaneSweepSpeedupAndDedup checks the PR-2 acceptance criteria on
+// the Float workload: checkpoint latency improves monotonically with
+// lane count, four lanes are at least twice as fast as one, and the
+// re-checkpoint of the same parent dedups against the first image.
+func TestLaneSweepSpeedupAndDedup(t *testing.T) {
+	r, err := LaneSweep(laneTestParams(), "Float", DefaultLaneCounts)
+	if err != nil {
+		t.Fatalf("LaneSweep: %v", err)
+	}
+	if len(r.Points) != len(DefaultLaneCounts) {
+		t.Fatalf("got %d points, want %d", len(r.Points), len(DefaultLaneCounts))
+	}
+	for i, pt := range r.Points {
+		if pt.Pages <= 0 {
+			t.Fatalf("point %d: no pages checkpointed", i)
+		}
+		if pt.Checkpoint <= 0 || pt.Restore <= 0 {
+			t.Fatalf("point %d: non-positive latency %v/%v", i, pt.Checkpoint, pt.Restore)
+		}
+		if i > 0 && pt.Checkpoint > r.Points[i-1].Checkpoint {
+			t.Errorf("checkpoint latency not monotonic: %d lanes %v > %d lanes %v",
+				pt.Lanes, pt.Checkpoint, r.Points[i-1].Lanes, r.Points[i-1].Checkpoint)
+		}
+		if i > 0 && pt.Restore > r.Points[i-1].Restore {
+			t.Errorf("restore latency not monotonic: %d lanes %v > %d lanes %v",
+				pt.Lanes, pt.Restore, r.Points[i-1].Lanes, r.Points[i-1].Restore)
+		}
+		// Sub-linear: speedup must not exceed the lane count.
+		if s := r.Speedup(i); s > float64(pt.Lanes)+1e-9 {
+			t.Errorf("%d lanes: super-linear speedup %.2fx", pt.Lanes, s)
+		}
+		// Dedup: the second checkpoint of the same warm parent must hit.
+		if pt.DedupHits == 0 || pt.DedupBytesSaved == 0 {
+			t.Errorf("%d lanes: no dedup hits (hits=%d saved=%d)",
+				pt.Lanes, pt.DedupHits, pt.DedupBytesSaved)
+		}
+		if pt.Recheckpoint >= pt.Checkpoint {
+			t.Errorf("%d lanes: deduped re-checkpoint %v not faster than cold %v",
+				pt.Lanes, pt.Recheckpoint, pt.Checkpoint)
+		}
+	}
+	// Headline criterion: 4 lanes at least 2x over 1 lane.
+	for i, pt := range r.Points {
+		if pt.Lanes == 4 {
+			if s := r.Speedup(i); s < 2.0 {
+				t.Errorf("4-lane checkpoint speedup %.2fx, want >= 2x", s)
+			}
+		}
+	}
+}
+
+// TestLaneSweepDeterministic replays the sweep and requires
+// byte-identical points: same latencies, same counters, every lane
+// count.
+func TestLaneSweepDeterministic(t *testing.T) {
+	a, err := LaneSweep(laneTestParams(), "Float", DefaultLaneCounts)
+	if err != nil {
+		t.Fatalf("LaneSweep #1: %v", err)
+	}
+	b, err := LaneSweep(laneTestParams(), "Float", DefaultLaneCounts)
+	if err != nil {
+		t.Fatalf("LaneSweep #2: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("lane sweep not deterministic:\n#1 %+v\n#2 %+v", a, b)
+	}
+}

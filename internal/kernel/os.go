@@ -10,6 +10,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"cxlfork/internal/cachesim"
 	"cxlfork/internal/cxl"
@@ -78,6 +79,19 @@ func (o *OS) Tasks() int { return len(o.tasks) }
 // Task returns the task with the given PID, or nil.
 func (o *OS) Task(pid int) *Task {
 	return o.tasks[pid]
+}
+
+// ForEachTask visits every live task in PID order (deterministic), for
+// audits and invariant checkers.
+func (o *OS) ForEachTask(fn func(*Task)) {
+	pids := make([]int, 0, len(o.tasks))
+	for pid := range o.tasks {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		fn(o.tasks[pid])
+	}
 }
 
 // FreeBytes returns unallocated local DRAM.

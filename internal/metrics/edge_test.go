@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"testing"
+
+	"cxlfork/internal/des"
+)
+
+// TestPercentileEdgeCases table-drives the percentile boundary
+// behaviour: no samples, a single sample, p=0, p=100, p outside the
+// [0,100] range, and ties.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []des.Time
+		p       float64
+		want    des.Time
+	}{
+		{"no-samples-p50", nil, 50, 0},
+		{"no-samples-p0", nil, 0, 0},
+		{"no-samples-p100", nil, 100, 0},
+		{"one-sample-p0", []des.Time{7}, 0, 7},
+		{"one-sample-p1", []des.Time{7}, 1, 7},
+		{"one-sample-p50", []des.Time{7}, 50, 7},
+		{"one-sample-p100", []des.Time{7}, 100, 7},
+		{"two-samples-p0", []des.Time{3, 9}, 0, 3},
+		{"two-samples-p50", []des.Time{3, 9}, 50, 3},
+		{"two-samples-p51", []des.Time{3, 9}, 51, 9},
+		{"two-samples-p100", []des.Time{3, 9}, 100, 9},
+		{"negative-p-clamps-to-min", []des.Time{3, 9}, -5, 3},
+		{"over-100-clamps-to-max", []des.Time{3, 9}, 250, 9},
+		{"all-ties", []des.Time{4, 4, 4, 4}, 99, 4},
+		{"unsorted-input", []des.Time{9, 1, 5}, 100, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewLatencyRecorder()
+			for _, s := range tc.samples {
+				r.Record(s)
+			}
+			if got := r.Percentile(tc.p); got != tc.want {
+				t.Fatalf("Percentile(%v) over %v = %v, want %v",
+					tc.p, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDedupCounters table-drives the dedup accounting, in particular
+// HitRate's division edge cases.
+func TestDedupCounters(t *testing.T) {
+	cases := []struct {
+		name               string
+		hits, misses       int64
+		bytesSaved         int64
+		wantRate           float64
+		wantHits, wantMiss int64
+	}{
+		{"zero-value", 0, 0, 0, 0, 0, 0},
+		{"all-misses", 0, 10, 0, 0, 0, 10},
+		{"all-hits", 8, 0, 8 * 4096, 1, 8, 0},
+		{"half", 5, 5, 5 * 4096, 0.5, 5, 5},
+		{"quarter", 1, 3, 4096, 0.25, 1, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d DedupCounters
+			for i := int64(0); i < tc.hits; i++ {
+				d.Hits.Inc()
+			}
+			d.Misses.Add(tc.misses)
+			d.BytesSaved.Add(tc.bytesSaved)
+			if got := d.HitRate(); got != tc.wantRate {
+				t.Fatalf("HitRate = %v, want %v", got, tc.wantRate)
+			}
+			if d.Hits.Value() != tc.wantHits || d.Misses.Value() != tc.wantMiss {
+				t.Fatalf("counts = %d/%d, want %d/%d",
+					d.Hits.Value(), d.Misses.Value(), tc.wantHits, tc.wantMiss)
+			}
+			if d.BytesSaved.Value() != tc.bytesSaved {
+				t.Fatalf("BytesSaved = %d, want %d", d.BytesSaved.Value(), tc.bytesSaved)
+			}
+		})
+	}
+}

@@ -153,6 +153,28 @@ type FaultCounters struct {
 	RecoveredBytes Counter
 }
 
+// DedupCounters aggregates the content-addressed frame dedup cache's
+// accounting: how often a checkpoint page write was satisfied by an
+// existing identical frame instead of a fresh copy, and how many fabric
+// bytes that elided.
+type DedupCounters struct {
+	// Hits counts page writes satisfied by an existing identical frame.
+	Hits Counter
+	// Misses counts page writes that allocated and copied a new frame.
+	Misses Counter
+	// BytesSaved counts fabric write bytes elided by hits.
+	BytesSaved Counter
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no lookups.
+func (d *DedupCounters) HitRate() float64 {
+	total := d.Hits.Value() + d.Misses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Hits.Value()) / float64(total)
+}
+
 // Ratio formats a/b as a multiplier string ("2.26x").
 func Ratio(a, b des.Time) string {
 	if b == 0 {

@@ -99,6 +99,10 @@ const (
 	fieldPTEs   = 3
 )
 
+// shadowShard is the page granularity one worker lane claims at a time
+// when building or transferring shadow state.
+const shadowShard = 128
+
 // Checkpoint creates the shadow copy in parent-node local memory and
 // serializes the OS state.
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
@@ -144,12 +148,17 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 		memsim.Copy(dst, src)
 		im.shadow[va.PageNumber()] = shadowPage{frame: dst, file: e.Flags.Has(pt.FileBacked)}
 		im.pteCount++
-		cost += p.LocalCopyPage + p.PTECopy
 	})
 	if cpErr != nil {
 		im.Release()
 		return nil, cpErr
 	}
+	// The shadow copy runs on the checkpoint lanes. It is a DRAM→DRAM
+	// copy, so lanes contend on the node's memory-controller streams
+	// (wider than the CXL fabric), with the PTE serialization as
+	// lane-local work. One lane charges the exact serial per-page sum.
+	cost += des.PipelineTime(p.CheckpointLanes, p.LocalCopyStreams, p.LaneDispatch,
+		des.UniformShards(im.pteCount, shadowShard, p.PTECopy, p.LocalCopyPage))
 	enc.PutUint(fieldPTEs, uint64(im.pteCount))
 	// The OS-state record travels in a checksummed envelope so Restore
 	// can reject corruption before touching the child.
@@ -191,6 +200,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	var gs rfork.GlobalState
 	var haveGS bool
 	var vmas []vma.VMA
+	var pteN int
 	d := wire.NewDecoder(blob)
 	for d.More() {
 		field, wt, err := d.Next()
@@ -207,8 +217,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 			if err != nil {
 				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
-			vmas = append(vmas, v)
-			cost += p.VMAReconstruct
+			vmas = append(vmas, v) // reconstruct cost folded into the lane pipeline below
 		case fieldGlobal:
 			b, err := d.Bytes()
 			if err != nil {
@@ -224,8 +233,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 			if err != nil {
 				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
 			}
-			// Transfer and deserialize the parent's page tables.
-			cost += des.Time(n) * p.PTEDeserialize
+			pteN = int(n)
 		default:
 			if err := d.Skip(wt); err != nil {
 				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
@@ -240,6 +248,15 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 			return err
 		}
 	}
+	// VMA reconstruction and the page-table transfer/deserialization run
+	// on the restore lanes; the PTE stream crosses the fabric from the
+	// parent node, so it contends on the fabric streams.
+	shards := make([]des.Shard, 0, len(vmas))
+	for range vmas {
+		shards = append(shards, des.Shard{Setup: p.VMAReconstruct})
+	}
+	shards = append(shards, des.UniformShards(pteN, pt.EntriesPerTable, 0, p.PTEDeserialize)...)
+	cost += des.PipelineTime(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards)
 	o.Eng.Advance(cost)
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {
 		return err

@@ -126,6 +126,30 @@ type Params struct {
 	// descriptors to or from a checkpoint.
 	StructCopy des.Time
 
+	// ---- Parallel copy lanes and fabric bandwidth ----
+
+	// CheckpointLanes is the number of worker lanes checkpoint pipelines
+	// shard across (per-VMA / per-page-table-leaf). 1 means the original
+	// sequential path with identical accounting.
+	CheckpointLanes int
+	// RestoreLanes is the number of worker lanes restore pipelines shard
+	// across.
+	RestoreLanes int
+	// FabricStreams is how many concurrent full-rate copy streams the
+	// CXL fabric admits before lanes contend on bandwidth; matches the
+	// parent-uplink stream count the porter's queue model uses.
+	FabricStreams int
+	// LocalCopyStreams is the DRAM-to-DRAM analogue for Mitosis' local
+	// shadow copy (memory-controller limited, wider than the fabric).
+	LocalCopyStreams int
+	// LaneDispatch is the per-shard work-queue handoff cost, charged
+	// only when more than one lane is configured.
+	LaneDispatch des.Time
+	// DedupHashPage is the cost of hashing one page for the
+	// content-addressed frame dedup cache when the copy is elided (on a
+	// miss the hash overlaps the NT-store and is not charged).
+	DedupHashPage des.Time
+
 	// ---- CRIU image costs (protobuf encode/decode, file I/O on cxlfs) ----
 
 	// CRIUPageSerialize is CRIU's per-page cost to protobuf-encode and
@@ -211,6 +235,13 @@ func Default() Params {
 		FDSerialize:      5 * des.Microsecond,
 		NamespaceRestore: 200 * des.Microsecond,
 		StructCopy:       20 * des.Microsecond,
+
+		CheckpointLanes:  1,
+		RestoreLanes:     1,
+		FabricStreams:    6,
+		LocalCopyStreams: 8,
+		LaneDispatch:     300 * des.Nanosecond,
+		DedupHashPage:    250 * des.Nanosecond,
 
 		CRIUPageSerialize: 4 * des.Microsecond,
 		CRIUPageRestore:   3 * des.Microsecond,

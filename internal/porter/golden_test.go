@@ -1,0 +1,69 @@
+package porter_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cxlfork/internal/azure"
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/core"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faas"
+	"cxlfork/internal/params"
+	"cxlfork/internal/porter"
+)
+
+// goldenRun replays one seeded bursty trace through a fresh porter with
+// the given copy-lane configuration and returns the result fingerprint.
+func goldenRun(t *testing.T, lanes int, traceSeed int64) uint64 {
+	t.Helper()
+	p := params.Default()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	p.CheckpointLanes = lanes
+	p.RestoreLanes = lanes
+	c := cluster.MustNew(p, 2)
+	po := porter.New(c, porter.Config{
+		Mechanism:       core.New(c.Dev),
+		Profiles:        profiles("CXLfork"),
+		NodeBudgetBytes: 1 << 30,
+		Seed:            1,
+	})
+	if err := po.Setup([]faas.Spec{tinySpec()}); err != nil {
+		t.Fatal(err)
+	}
+	trace := azure.Generate(azure.TraceConfig{
+		TotalRPS: 40,
+		Duration: 10 * des.Second,
+		Loads:    azure.DefaultLoads([]string{"Tiny"}),
+		Seed:     traceSeed,
+	})
+	return po.Run(trace).Fingerprint()
+}
+
+// TestGoldenDeterministicResults is the golden determinism test: the
+// same seeded trace replayed through a fresh cluster must produce
+// byte-identical porter results — compared via Results.Fingerprint,
+// which folds every scalar counter and latency distribution — for the
+// sequential baseline and for every lane count.
+func TestGoldenDeterministicResults(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			a := goldenRun(t, lanes, 7)
+			b := goldenRun(t, lanes, 7)
+			if a != b {
+				t.Fatalf("same seed, different fingerprints: %#x vs %#x", a, b)
+			}
+		})
+	}
+}
+
+// TestGoldenFingerprintSensitive proves the fingerprint is not vacuous:
+// replaying a different trace must change it.
+func TestGoldenFingerprintSensitive(t *testing.T) {
+	a := goldenRun(t, 1, 7)
+	b := goldenRun(t, 1, 8)
+	if a == b {
+		t.Fatalf("different traces, same fingerprint %#x", a)
+	}
+}

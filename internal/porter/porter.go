@@ -194,6 +194,12 @@ type Results struct {
 	// RecoveredBytes counts bytes reclaimed from torn checkpoint arenas
 	// by recovery passes.
 	RecoveredBytes int64
+	// DedupHits / DedupMisses count checkpoint page writes satisfied by
+	// the device's content-addressed frame cache vs. fresh copies.
+	DedupHits   int64
+	DedupMisses int64
+	// DedupBytesSaved counts fabric write bytes elided by dedup hits.
+	DedupBytesSaved int64
 }
 
 // Throughput returns requests completed within the arrival window per

@@ -75,6 +75,14 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	p.res.Retries = fc.Retries.Value()
 	p.res.Fallbacks = fc.Fallbacks.Value()
 	p.res.RecoveredBytes = fc.RecoveredBytes.Value()
+
+	// Dedup accounting: mirror the device's content-addressed frame
+	// cache counters (covering Setup checkpoints and any trace-time
+	// re-checkpoints) into the results.
+	dc := &p.c.Dev.Dedup
+	p.res.DedupHits = dc.Hits.Value()
+	p.res.DedupMisses = dc.Misses.Value()
+	p.res.DedupBytesSaved = dc.BytesSaved.Value()
 	return p.res
 }
 
@@ -254,8 +262,17 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 // per function").
 func (p *Porter) replenishGhosts(node *nodeState, fn string) {
 	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
-	if node.ghosts[fn] >= p.cfg.GhostsPerFunction || node.freePages() < ghostPages {
+	if node.ghosts[fn] >= p.cfg.GhostsPerFunction {
 		return
+	}
+	if node.freePages() < ghostPages {
+		// The consuming node is full: fall back to the least-loaded
+		// surviving node with room, preferring one that already hosts fn
+		// (a dedup-warm placement — see placeOn).
+		node = p.ghostFallback(fn, ghostPages)
+		if node == nil {
+			return
+		}
 	}
 	p.c.Eng.After(p.c.P.ContainerCreate, func() {
 		if node.ghosts[fn] >= p.cfg.GhostsPerFunction || node.freePages() < ghostPages {
@@ -282,7 +299,15 @@ func (p *Porter) placeOn(fn string, pages int, excluded map[*nodeState]bool) (*n
 		cands = append(cands, n)
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
-		return cands[i].cpu.Busy()+cands[i].cpu.QueueLen() < cands[j].cpu.Busy()+cands[j].cpu.QueueLen()
+		li := cands[i].cpu.Busy() + cands[i].cpu.QueueLen()
+		lj := cands[j].cpu.Busy() + cands[j].cpu.QueueLen()
+		if li != lj {
+			return li < lj
+		}
+		// Equal load: prefer the node already hosting fn. Its restores
+		// and re-checkpoints run against device frames this function's
+		// pages already deduped into, and its page cache is warm.
+		return cands[i].hostsFn(fn) && !cands[j].hostsFn(fn)
 	})
 	if p.ghostsCompatible() {
 		for _, n := range cands {

@@ -51,6 +51,7 @@ func TestCheckpointFailsOnFullDevice(t *testing.T) {
 	if c.Dev.UsedBytes() != 0 {
 		t.Fatalf("device retains %d bytes after failed checkpoint", c.Dev.UsedBytes())
 	}
+	CheckInvariants(t, c)
 }
 
 // TestCRIURestoreFailsOnFullNode verifies CRIU's eager restore hits OOM
@@ -104,6 +105,7 @@ func TestCXLforkRestoreSurvivesFullNode(t *testing.T) {
 			t.Fatalf("content mismatch at %#x", uint64(va))
 		}
 	}
+	CheckInvariants(t, c)
 	// Under MoA the overlay degrades to direct CXL mappings.
 	child2 := node1.NewTask("clone2")
 	if err := mech.Restore(child2, img, rfork.Options{Policy: rfork.MigrateOnAccess}); err != nil {

@@ -70,6 +70,7 @@ func TestKillMidCheckpointRecovery(t *testing.T) {
 		if torn <= 0 {
 			t.Fatal("crash left no torn state on the device")
 		}
+		CheckInvariants(t, c) // torn arena still owns its frames
 
 		// Garbage-collect the unsealed arena: 100% reclaimed.
 		st := c.Dev.Recover()
@@ -96,6 +97,7 @@ func TestKillMidCheckpointRecovery(t *testing.T) {
 			t.Fatalf("restore on surviving node: %v", err)
 		}
 		VerifyCloneContent(t, child, snap)
+		CheckInvariants(t, c)
 		return c.Eng.Now()
 	}
 
@@ -140,6 +142,7 @@ func TestDeviceFullRollbackAtEveryStage(t *testing.T) {
 			if c.Eng.Now() != before {
 				t.Fatal("rolled-back checkpoint charged virtual time")
 			}
+			CheckInvariants(t, c)
 
 			// The injection fired once; the retry goes through.
 			img, err := mech.Checkpoint(parent, "retry")
@@ -150,6 +153,7 @@ func TestDeviceFullRollbackAtEveryStage(t *testing.T) {
 			if got := c.Dev.UsedBytes(); got != baseline {
 				t.Fatalf("occupancy %d after release, want %d", got, baseline)
 			}
+			CheckInvariants(t, c)
 		})
 	}
 }
@@ -181,6 +185,7 @@ func TestCorruptedImageRejected(t *testing.T) {
 			if n := child.MM.VMAs.Count(); n != 0 {
 				t.Fatalf("failed restore left %d VMAs in the child", n)
 			}
+			CheckInvariants(t, c)
 		})
 	}
 }

@@ -1,0 +1,188 @@
+package rforktest
+
+import (
+	"testing"
+
+	"cxlfork/internal/core"
+	"cxlfork/internal/criu"
+	"cxlfork/internal/faultinject"
+	"cxlfork/internal/mitosis"
+	"cxlfork/internal/rfork"
+
+	icluster "cxlfork/internal/cluster"
+)
+
+// TestInvariantsThroughCheckpointRestoreLifecycle audits the cluster
+// bookkeeping at every stage of each mechanism's lifecycle: after the
+// parent is built, after checkpoint, after restore, after the clone's
+// first full read pass (CoW and migrate faults), after clone exit, and
+// after image release.
+func TestInvariantsThroughCheckpointRestoreLifecycle(t *testing.T) {
+	mechs := func(c *icluster.Cluster) map[string]rfork.Mechanism {
+		return map[string]rfork.Mechanism{
+			"CXLfork":     core.New(c.Dev),
+			"CRIU-CXL":    criu.New(c.CXLFS),
+			"Mitosis-CXL": mitosis.New(),
+		}
+	}
+	for _, name := range []string{"CXLfork", "CRIU-CXL", "Mitosis-CXL"} {
+		t.Run(name, func(t *testing.T) {
+			c := NewCluster(t)
+			mech := mechs(c)[name]
+			parent := BuildParent(t, c)
+			snap := SnapshotTokens(parent)
+			CheckInvariants(t, c)
+
+			img, err := mech.Checkpoint(parent, "inv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			CheckInvariants(t, c)
+
+			child := c.Node(1).NewTask("clone")
+			if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			CheckInvariants(t, c)
+
+			VerifyCloneContent(t, child, snap)
+			CheckInvariants(t, c)
+
+			c.Node(1).Exit(child)
+			CheckInvariants(t, c)
+
+			img.Release()
+			CheckInvariants(t, c)
+		})
+	}
+}
+
+// TestInvariantsWithDedupedImages checkpoints the same parent twice with
+// CXLfork so the second image's data frames dedup against the first:
+// shared frames carry one reference per owning arena, and releasing the
+// images one at a time must keep conservation exact until the device is
+// empty again.
+func TestInvariantsWithDedupedImages(t *testing.T) {
+	c := NewCluster(t)
+	mech := core.New(c.Dev)
+	parent := BuildParent(t, c)
+
+	img1, err := mech.Checkpoint(parent, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := mech.Checkpoint(parent, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dev.Dedup.Hits.Value() == 0 {
+		t.Fatal("second checkpoint of an unchanged parent produced no dedup hits")
+	}
+	CheckInvariants(t, c)
+
+	img1.Release()
+	CheckInvariants(t, c)
+	img2.Release()
+	CheckInvariants(t, c)
+	if used := c.Dev.Pool().UsedPages(); used != 0 {
+		t.Fatalf("device pool retains %d pages after both releases", used)
+	}
+}
+
+// TestInvariantsAfterCrashAndRecover runs the torn-checkpoint scenario
+// and audits at each stage: the torn arena still owns its frames, and
+// Device.Recover returns the pool to conservation with the arena gone.
+func TestInvariantsAfterCrashAndRecover(t *testing.T) {
+	c := NewCluster(t)
+	mech := core.New(c.Dev)
+	mech.Faults = c.Faults
+	parent := BuildParent(t, c)
+
+	c.Faults.Inject(faultinject.Rule{
+		Kind: faultinject.CrashNode,
+		Step: faultinject.StepCheckpointGlobal,
+		Node: 0,
+	})
+	if _, err := mech.Checkpoint(parent, "doomed"); err == nil {
+		t.Fatal("checkpoint survived an injected crash")
+	}
+	CheckInvariants(t, c)
+
+	c.Dev.Recover()
+	CheckInvariants(t, c)
+
+	parent2 := BuildParentOn(t, c, 1)
+	img, err := mech.Checkpoint(parent2, "retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	CheckInvariants(t, c)
+	img.Release()
+	CheckInvariants(t, c)
+}
+
+// TestInvariantCheckerDetectsViolations proves the checker is not
+// vacuous: a leaked frame reference and a stolen reference must each
+// surface as a conservation error.
+func TestInvariantCheckerDetectsViolations(t *testing.T) {
+	c := NewCluster(t)
+	mech := core.New(c.Dev)
+	parent := BuildParent(t, c)
+	img, err := mech.Checkpoint(parent, "inv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img.Release()
+	if errs := Invariants(c); len(errs) != 0 {
+		t.Fatalf("clean cluster reported violations: %v", errs)
+	}
+
+	// Find a frame the checkpoint owns.
+	var pfn = -1
+	pool := c.Dev.Pool()
+	for i := 0; i < pool.CapacityPages(); i++ {
+		if pool.Frame(i).Refs() > 0 {
+			pfn = i
+			break
+		}
+	}
+	if pfn < 0 {
+		t.Fatal("checkpoint owns no device frames")
+	}
+
+	// Leak: an extra reference nobody accounts for.
+	pool.Frame(pfn).Get()
+	if errs := Invariants(c); len(errs) == 0 {
+		t.Fatal("leaked frame reference not detected")
+	}
+	pool.Put(pool.Frame(pfn))
+	if errs := Invariants(c); len(errs) != 0 {
+		t.Fatalf("violations after restoring the ref: %v", errs)
+	}
+
+	// Steal: drop a reference an arena still owns. Use a deduped frame
+	// (two images sharing it, refs >= 2) so the early Put frees nothing.
+	img2, err := mech.Checkpoint(parent, "inv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img2.Release()
+	shared := -1
+	for i := 0; i < pool.CapacityPages(); i++ {
+		if pool.Frame(i).Refs() >= 2 {
+			shared = i
+			break
+		}
+	}
+	if shared < 0 {
+		t.Fatal("no deduped frame shared by both images")
+	}
+	pool.Put(pool.Frame(shared))
+	if errs := Invariants(c); len(errs) == 0 {
+		t.Fatal("stolen frame reference not detected")
+	}
+	pool.Frame(shared).Get() // restore before teardown
+	if errs := Invariants(c); len(errs) != 0 {
+		t.Fatalf("violations after restoring the ref: %v", errs)
+	}
+}
