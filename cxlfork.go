@@ -23,6 +23,7 @@ package cxlfork
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -78,6 +79,14 @@ type Config struct {
 	CheckpointLanes int
 	// RestoreLanes is the restore-side lane count; 0 keeps one lane.
 	RestoreLanes int
+	// Trace enables the virtual-time span tracer. Tracing is purely
+	// observational — it never advances the clock — so enabling it
+	// changes no simulated result, only records one.
+	Trace bool
+	// TraceBufferCap bounds the trace buffer's event count; 0 uses the
+	// tracer's default. Once full, further spans are counted as dropped
+	// and discarded.
+	TraceBufferCap int
 	// Seed drives all randomized behaviour (deterministic by default).
 	Seed int64
 }
@@ -119,6 +128,12 @@ func (c Config) params() params.Params {
 	}
 	if c.RestoreLanes > 0 {
 		p.RestoreLanes = c.RestoreLanes
+	}
+	if c.Trace {
+		p.TraceEnabled = true
+	}
+	if c.TraceBufferCap > 0 {
+		p.TraceBufferCap = c.TraceBufferCap
 	}
 	return p
 }
@@ -614,4 +629,59 @@ func (s *System) DedupStats() DedupStats {
 		Misses:     c.Misses.Value(),
 		BytesSaved: c.BytesSaved.Value(),
 	}
+}
+
+// TraceEnabled reports whether the system records a virtual-time trace
+// (Config.Trace).
+func (s *System) TraceEnabled() bool { return s.c.Trace.Enabled() }
+
+// TraceEventCount returns the number of recorded trace spans.
+func (s *System) TraceEventCount() int { return s.c.Trace.Len() }
+
+// TraceDropped returns how many spans the bounded trace buffer
+// rejected (0 unless the scenario outgrew Config.TraceBufferCap).
+func (s *System) TraceDropped() int64 { return s.c.Trace.Dropped() }
+
+// WriteTrace writes the recorded trace as Chrome trace_event JSON,
+// viewable in Perfetto (ui.perfetto.dev) or chrome://tracing. Under the
+// same Config and operation sequence the output is byte-identical.
+func (s *System) WriteTrace(w io.Writer) error {
+	if !s.c.Trace.Enabled() {
+		return fmt.Errorf("cxlfork: tracing disabled (set Config.Trace)")
+	}
+	return s.c.Trace.WriteChrome(w)
+}
+
+// PhaseLatency is one phase's latency distribution from the trace's
+// per-phase histograms. Phase names are "cat/name" (e.g.
+// "phase/struct-copy", "op/checkpoint", "fault/cow-cxl").
+type PhaseLatency struct {
+	Phase string
+	Count int
+	Total time.Duration
+	Mean  time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// TracePhases returns the trace's per-phase latency summaries, sorted
+// by phase name. Nil when tracing is disabled.
+func (s *System) TracePhases() []PhaseLatency {
+	ps := s.c.Trace.Phases()
+	if ps == nil {
+		return nil
+	}
+	var out []PhaseLatency
+	for _, name := range ps.Phases() {
+		r := ps.Recorder(name)
+		out = append(out, PhaseLatency{
+			Phase: name,
+			Count: r.Count(),
+			Total: time.Duration(r.Sum()),
+			Mean:  time.Duration(r.Mean()),
+			P99:   time.Duration(r.P99()),
+			Max:   time.Duration(r.Max()),
+		})
+	}
+	return out
 }

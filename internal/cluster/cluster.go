@@ -14,6 +14,7 @@ import (
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/params"
+	"cxlfork/internal/trace"
 )
 
 // Cluster is a set of nodes sharing a CXL device and root filesystem.
@@ -29,6 +30,12 @@ type Cluster struct {
 	// non-nil; with no rules injected it reports no faults, so the happy
 	// path pays only a few predictable branches.
 	Faults *faultinject.Plan
+
+	// Trace is the cluster-wide virtual-time tracer, shared by every
+	// node, or nil when params.TraceEnabled is false. Tracing is purely
+	// observational — it never advances any clock — so enabling it
+	// cannot change simulation results.
+	Trace *trace.Tracer
 }
 
 // New builds a cluster of n nodes with the given parameters. All nodes
@@ -49,9 +56,13 @@ func New(p params.Params, n int) (*Cluster, error) {
 		CXLFS:  fsim.NewCXLFS(dev),
 		Faults: faultinject.NewPlan(eng, 1),
 	}
+	if p.TraceEnabled {
+		c.Trace = trace.New(p.TraceBufferCap)
+	}
 	for i := 0; i < n; i++ {
 		node := kernel.NewOS(fmt.Sprintf("node%d", i), p, eng, dev, fs, p.NodeDRAMBytes)
 		node.Index = i
+		node.Trace = c.Trace
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil

@@ -64,6 +64,67 @@ func TestZeroNodesErrors(t *testing.T) {
 	}
 }
 
+func TestTraceDisabledByDefault(t *testing.T) {
+	c := MustNew(small(), 2)
+	if c.Trace != nil {
+		t.Fatal("tracer allocated with TraceEnabled false")
+	}
+	if c.Trace.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	for _, n := range c.Nodes {
+		if n.Trace != nil {
+			t.Fatalf("%s has a tracer on an untraced cluster", n.Name)
+		}
+	}
+}
+
+func TestTraceSharedAcrossNodes(t *testing.T) {
+	p := small()
+	p.TraceEnabled = true
+	p.TraceBufferCap = 128
+	c := MustNew(p, 3)
+	if !c.Trace.Enabled() {
+		t.Fatal("tracer not allocated with TraceEnabled true")
+	}
+	for _, n := range c.Nodes {
+		if n.Trace != c.Trace {
+			t.Fatalf("%s does not share the cluster tracer", n.Name)
+		}
+	}
+	// The cap flows through: the buffer drops past 128 events.
+	for i := 0; i < 200; i++ {
+		c.Node(0).NewTask("t")
+	}
+	if c.Trace.Len() != 128 || c.Trace.Dropped() != 200-128 {
+		t.Fatalf("buffer cap not honored: len=%d dropped=%d", c.Trace.Len(), c.Trace.Dropped())
+	}
+}
+
+func TestFaultPlanAlwaysPresent(t *testing.T) {
+	c := MustNew(small(), 1)
+	if c.Faults == nil {
+		t.Fatal("fault plan is nil")
+	}
+	for i := 0; i < len(c.Nodes); i++ {
+		if c.Faults.NodeDown(i) {
+			t.Fatalf("node %d down on a fresh cluster", i)
+		}
+	}
+}
+
+func TestNodeAccessorMatchesSlice(t *testing.T) {
+	c := MustNew(small(), 3)
+	for i, n := range c.Nodes {
+		if c.Node(i) != n {
+			t.Fatalf("Node(%d) != Nodes[%d]", i, i)
+		}
+		if n.Index != i {
+			t.Fatalf("node %d has Index %d", i, n.Index)
+		}
+	}
+}
+
 func TestMustNewPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

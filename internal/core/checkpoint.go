@@ -18,6 +18,7 @@ import (
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
 	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 	"cxlfork/internal/wire"
 )
@@ -211,8 +212,10 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	o := parent.OS
 	p := o.P
 	node := o.Index
+	t0 := o.Eng.Now()
 	arena, err := m.Dev.NewArena(id)
 	if err != nil {
+		o.TraceOpError("checkpoint", t0, "alloc")
 		return nil, err
 	}
 	ck := &Checkpoint{id: id, dev: m.Dev, arena: arena, refs: rfork.NewRefCount()}
@@ -227,7 +230,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	// VMA tree leaves: copied as-is, marked immutable (step 2). Each leaf
 	// is one lane shard of pure metadata work (no fabric units).
 	if err := m.Faults.At(faultinject.StepCheckpointVMA, node); err != nil {
-		return nil, m.checkpointFault(ck, o.Eng, cost+m.copyCost(lanes, shards), err)
+		return nil, m.checkpointFault(ck, o, t0, cost+m.copyCost(lanes, shards), "vma", err)
 	}
 	var vmaErr error
 	srcVMAs := collectVMALeaves(parent)
@@ -246,8 +249,10 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	}
 	if vmaErr != nil {
 		ck.Release()
+		o.TraceOpError("checkpoint", t0, "alloc")
 		return nil, vmaErr
 	}
+	nVMA := len(shards)
 
 	// Page tables and data pages (steps 4-7): copy each leaf, copy each
 	// present page into a CXL frame, rewrite the PTE to the device PFN
@@ -259,7 +264,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	// function of the current virtual time only, so hoisting it out of
 	// the walk charges exactly what the per-page form did.
 	if err := m.Faults.At(faultinject.StepCheckpointPT, node); err != nil {
-		return nil, m.checkpointFault(ck, o.Eng, cost+m.copyCost(lanes, shards), err)
+		return nil, m.checkpointFault(ck, o, t0, cost+m.copyCost(lanes, shards), "pt", err)
 	}
 	pageCost := m.Faults.Scale(p.CXLWritePage)
 	var ptErr error
@@ -320,16 +325,19 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	})
 	if ptErr != nil {
 		ck.Release()
+		o.TraceOpError("checkpoint", t0, "alloc")
 		return nil, ptErr
 	}
-	cost += m.copyCost(lanes, shards)
+	obs, laneSpans := o.Trace.CollectShards()
+	copyDur := m.copyCostObs(lanes, shards, obs)
+	cost += copyDur
 
 	// Global state (step 8): light serialization of paths, permissions,
 	// mounts, PID namespace, and the register file, wrapped in a
 	// checksummed envelope so Restore can detect corruption before it
 	// mutates the child.
 	if err := m.Faults.At(faultinject.StepCheckpointGlobal, node); err != nil {
-		return nil, m.checkpointFault(ck, o.Eng, cost, err)
+		return nil, m.checkpointFault(ck, o, t0, cost, "global", err)
 	}
 	gs := rfork.CaptureGlobalState(parent)
 	blob := wire.SealEnvelope(gs.Encode())
@@ -337,19 +345,42 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	off, err := arena.Alloc(blob, int64(len(blob)))
 	if err != nil {
 		ck.Release()
+		o.TraceOpError("checkpoint", t0, "alloc")
 		return nil, err
 	}
 	ck.globalOff = off
-	cost += des.Time(len(gs.FDs)) * p.FDSerialize
-	cost += p.StructCopy // mounts + pidns records
+	globalCost := des.Time(len(gs.FDs))*p.FDSerialize + p.StructCopy // FDs + mounts + pidns records
+	cost += globalCost
 
 	// Publication commit: the arena becomes visible to Restore only now.
 	// Everything before this point is recoverable staging.
 	if err := arena.Seal(); err != nil {
 		ck.Release()
+		o.TraceOpError("checkpoint", t0, "seal")
 		return nil, err
 	}
 	o.Eng.Advance(cost)
+	if o.Trace.Enabled() {
+		opID := o.Trace.Emit(trace.None, node, trace.TrackOps, trace.CatOp, "checkpoint",
+			t0, cost, ck.CXLBytes(), ck.dataPages)
+		pos := t0
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "struct-copy", pos, p.StructCopy, 0, 0)
+		pos += p.StructCopy
+		copiedBytes := int64(ck.dataPages-ck.dedupHits) * int64(p.PageSize)
+		copyID := o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "copy", pos, copyDur,
+			copiedBytes, ck.dataPages)
+		o.Trace.EmitShards(copyID, node, pos, laneSpans,
+			func(i int) string {
+				if i < nVMA {
+					return "vma-leaf"
+				}
+				return "pt-leaf"
+			},
+			func(i int) int { return shards[i].Units })
+		pos += copyDur
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "global-serialize", pos, globalCost,
+			int64(len(blob)), 0)
+	}
 	return ck, nil
 }
 
@@ -359,10 +390,16 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 // Multiple lanes run the lane/fabric-stream contention model on the
 // device's private engine.
 func (m *Mechanism) copyCost(lanes int, shards []des.Shard) des.Time {
+	return m.copyCostObs(lanes, shards, nil)
+}
+
+// copyCostObs is copyCost with a shard observer; a nil observer is
+// byte-identical to copyCost.
+func (m *Mechanism) copyCostObs(lanes int, shards []des.Shard, obs des.ShardObserver) des.Time {
 	if lanes <= 1 {
-		return des.SerialTime(shards)
+		return des.PipelineTimeObs(1, 1, 0, shards, obs)
 	}
-	return m.Dev.CopyMakespan(lanes, shards)
+	return m.Dev.CopyMakespanObs(lanes, shards, obs)
 }
 
 // checkpointFault finishes a Checkpoint interrupted by an injected
@@ -371,13 +408,15 @@ func (m *Mechanism) copyCost(lanes int, shards []des.Shard) des.Time {
 // still charges the virtual-time cost accrued before the crash — that
 // work happened. Any other fault (transient device-full) rolls the
 // staging back so occupancy is exactly what it was, matching the real
-// device-full paths.
-func (m *Mechanism) checkpointFault(ck *Checkpoint, eng *des.Engine, cost des.Time, cause error) error {
+// device-full paths. Either way the aborted operation is traced with
+// the step that failed.
+func (m *Mechanism) checkpointFault(ck *Checkpoint, o *kernel.OS, t0, cost des.Time, step string, cause error) error {
 	if errors.Is(cause, rfork.ErrNodeDown) {
-		eng.Advance(cost)
+		o.Eng.Advance(cost)
 	} else {
 		ck.Release()
 	}
+	o.TraceOpError("checkpoint", t0, step)
 	return cause
 }
 

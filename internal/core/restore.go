@@ -10,6 +10,7 @@ import (
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
 	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 )
 
@@ -26,7 +27,9 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	}
 	o := child.OS
 	p := o.P
+	t0 := o.Eng.Now()
 	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+		o.TraceOpError("restore", t0, "attach")
 		return err
 	}
 
@@ -35,13 +38,16 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	// blob must decode cleanly — it is needed after the attach, when a
 	// failure would leave the child half-mutated.
 	if ck.refs.Count() <= 0 {
+		o.TraceOpError("restore", t0, "validate")
 		return fmt.Errorf("core: restore from reclaimed checkpoint %s", ck.id)
 	}
 	if !ck.arena.Sealed() {
+		o.TraceOpError("restore", t0, "validate")
 		return fmt.Errorf("core: checkpoint %s: %w", ck.id, rfork.ErrTornImage)
 	}
 	gs, err := ck.globalState()
 	if err != nil {
+		o.TraceOpError("restore", t0, "validate")
 		return err
 	}
 	lanes := p.RestoreLanes
@@ -59,6 +65,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 			leaf := cxl.Get[*vma.Leaf](ck.arena, off)
 			for _, v := range leaf.VMAs {
 				if _, err := child.MM.VMAs.Insert(v); err != nil {
+					o.TraceOpError("restore", t0, "attach")
 					return err
 				}
 			}
@@ -68,12 +75,14 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 		for _, off := range ck.vmaLeaves {
 			leaf := cxl.Get[*vma.Leaf](ck.arena, off)
 			if err := child.MM.VMAs.AttachLeaf(leaf); err != nil {
+				o.TraceOpError("restore", t0, "attach")
 				return err
 			}
 			shards = append(shards, des.Shard{Setup: p.VMALeafAttach})
 		}
 		child.MM.LazyVMAs = true
 	}
+	nVMA := len(shards)
 	cost += p.StructCopy // MM descriptor upper levels
 
 	switch opts.Policy {
@@ -90,6 +99,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 				local.Protected = true // PTEs stay read-only CoW
 				before := child.MM.PT.Stats().LocalUppers
 				if err := child.MM.PT.AttachLeaf(ref.base, local); err != nil {
+					o.TraceOpError("restore", t0, "attach")
 					return err
 				}
 				newUppers := child.MM.PT.Stats().LocalUppers - before
@@ -106,6 +116,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 				leaf := cxl.Get[*pt.Leaf](ck.arena, ref.off)
 				before := child.MM.PT.Stats().LocalUppers
 				if err := child.MM.PT.AttachLeaf(ref.base, leaf); err != nil {
+					o.TraceOpError("restore", t0, "attach")
 					return err
 				}
 				newUppers := child.MM.PT.Stats().LocalUppers - before
@@ -119,16 +130,22 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 		// checkpoint through the overlay (§4.3).
 		child.MM.Overlay = &ckptOverlay{ck: ck, policy: opts.Policy}
 	default:
+		o.TraceOpError("restore", t0, "validate")
 		return fmt.Errorf("core: unknown tiering policy %v", opts.Policy)
 	}
-	cost += m.copyCost(lanes, shards)
+	obs, laneSpans := o.Trace.CollectShards()
+	copyDur := m.copyCostObs(lanes, shards, obs)
+	cost += copyDur
 
 	// Redo global state from the light serialization (decoded and
 	// verified above, before the child was touched).
 	o.Eng.Advance(cost)
+	gBegin := o.Eng.Now()
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {
+		o.TraceOpError("restore", t0, "global")
 		return err
 	}
+	gEnd := o.Eng.Now()
 
 	// The clone holds a checkpoint reference until exit.
 	ck.Retain()
@@ -137,6 +154,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	// Post-restore page movement. These copies happen after execution
 	// resumes (the restore latency a request observes excludes them),
 	// but their time is real work charged to the fault budget.
+	prefBefore := o.Faults.Counts[kernel.FaultPrefetch]
 	switch {
 	case opts.Policy == rfork.MigrateOnWrite && !opts.NoDirtyPrefetch:
 		m.prefetch(child, ck, func(e pt.PTE) bool { return e.Flags.Has(pt.Dirty) }, true)
@@ -145,6 +163,29 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 		m.prefetch(child, ck, func(e pt.PTE) bool {
 			return e.Flags.Has(pt.Accessed) || e.Flags.Has(pt.UserHot)
 		}, false)
+	}
+	if o.Trace.Enabled() {
+		pEnd := o.Eng.Now()
+		node := o.Index
+		opID := o.Trace.Emit(trace.None, node, trace.TrackOps, trace.CatOp, "restore",
+			t0, pEnd-t0, 0, ck.dataPages)
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "struct-copy", t0, p.StructCopy, 0, 0)
+		copyID := o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "attach",
+			t0+p.StructCopy, copyDur, 0, len(ck.ptLeaves))
+		o.Trace.EmitShards(copyID, node, t0+p.StructCopy, laneSpans,
+			func(i int) string {
+				if i < nVMA {
+					return "vma-leaf"
+				}
+				return "pt-leaf"
+			},
+			func(i int) int { return shards[i].Units })
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "global-restore", gBegin, gEnd-gBegin, 0, 0)
+		if pEnd > gEnd {
+			prefPages := int(o.Faults.Counts[kernel.FaultPrefetch] - prefBefore)
+			o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "prefetch",
+				gEnd, pEnd-gEnd, int64(prefPages)*int64(p.PageSize), prefPages)
+		}
 	}
 	return nil
 }

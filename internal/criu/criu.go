@@ -17,8 +17,10 @@ import (
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
+	"cxlfork/internal/params"
 	"cxlfork/internal/pt"
 	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 	"cxlfork/internal/wire"
 )
@@ -100,7 +102,9 @@ const pageShard = 128
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
 	o := parent.OS
 	p := o.P
+	t0 := o.Eng.Now()
 	if err := m.Faults.At(faultinject.StepCheckpointVMA, o.Index); err != nil {
+		o.TraceOpError("checkpoint", t0, "vma")
 		return nil, err
 	}
 	var cost des.Time
@@ -138,12 +142,16 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	// Page dumps run on the checkpoint lanes; the encoded stream goes to
 	// the in-CXL-memory filesystem, so the copies contend on the fabric
 	// streams. One lane charges the exact serial per-page sum.
-	cost += des.PipelineTime(p.CheckpointLanes, p.FabricStreams, p.LaneDispatch,
-		des.UniformShards(pages, pageShard, 0, m.Faults.Scale(p.CRIUPageSerialize)))
+	encCost := cost
+	shards := des.UniformShards(pages, pageShard, 0, m.Faults.Scale(p.CRIUPageSerialize))
+	obs, laneSpans := o.Trace.CollectShards()
+	pipeDur := des.PipelineTimeObs(p.CheckpointLanes, p.FabricStreams, p.LaneDispatch, shards, obs)
+	cost += pipeDur
 
 	logical := int64(pages)*int64(p.PageSize) + int64(vmaCount+len(gs.FDs)+1)*64
 	file := "criu-" + id + ".img"
 	if err := m.Faults.At(faultinject.StepCheckpointGlobal, o.Index); err != nil {
+		o.TraceOpError("checkpoint", t0, "global")
 		return nil, err
 	}
 	// The whole image goes through a checksummed envelope so Restore can
@@ -151,9 +159,21 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	blob := wire.SealEnvelope(enc.Bytes())
 	m.Faults.Corrupt(faultinject.StepCheckpointGlobal, o.Index, id, blob)
 	if err := m.FS.Write(file, blob, logical); err != nil {
+		o.TraceOpError("checkpoint", t0, "write")
 		return nil, err
 	}
 	o.Eng.Advance(cost)
+	if o.Trace.Enabled() {
+		node := o.Index
+		opID := o.Trace.Emit(trace.None, node, trace.TrackOps, trace.CatOp, "checkpoint",
+			t0, cost, logical, pages)
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "serialize", t0, encCost, 0, 0)
+		dumpID := o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "page-dump",
+			t0+encCost, pipeDur, int64(pages)*int64(p.PageSize), pages)
+		o.Trace.EmitShards(dumpID, node, t0+encCost, laneSpans,
+			func(int) string { return "page-batch" },
+			func(i int) int { return shards[i].Units })
+	}
 	return &Image{id: id, fs: m.FS, file: file, pages: pages, size: logical, refs: rfork.NewRefCount()}, nil
 }
 
@@ -167,85 +187,34 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	}
 	o := child.OS
 	p := o.P
+	t0 := o.Eng.Now()
 	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+		o.TraceOpError("restore", t0, "attach")
 		return err
 	}
 	if im.refs.Count() <= 0 {
+		o.TraceOpError("restore", t0, "validate")
 		return fmt.Errorf("criu: restore from reclaimed image %s", im.id)
 	}
 	envelope, err := m.FS.Read(im.file)
 	if err != nil {
+		o.TraceOpError("restore", t0, "read")
 		return err
 	}
 
 	// Validate and fully decode the image before mutating the child: a
 	// damaged file must surface as ErrImageCorrupt with the child
 	// untouched, never as a half-reconstructed address space.
-	blob, err := wire.OpenEnvelope(envelope)
+	gs, vmas, pageRecs, cost, err := decodeImage(im.id, envelope, p)
 	if err != nil {
-		return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-	}
-	var cost des.Time
-	var gs rfork.GlobalState
-	var haveGS bool
-	var vmas []vma.VMA
-	type pageRec struct {
-		vpn   uint64
-		token uint64
-	}
-	var pageRecs []pageRec
-
-	d := wire.NewDecoder(blob)
-	for d.More() {
-		field, wt, err := d.Next()
-		if err != nil {
-			return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-		}
-		switch field {
-		case fieldVMA:
-			b, err := d.Bytes()
-			if err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-			v, err := rfork.DecodeVMA(b)
-			if err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-			vmas = append(vmas, v) // decode+reconstruct cost folded into the lane pipeline below
-		case fieldGlobal:
-			b, err := d.Bytes()
-			if err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-			gs, err = rfork.DecodeGlobalState(b)
-			if err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-			haveGS = true
-			cost += des.Time(len(gs.FDs)) * p.CRIURecordDecode
-		case fieldPage:
-			b, err := d.Bytes()
-			if err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-			rec, err := decodePage(b)
-			if err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-			pageRecs = append(pageRecs, pageRec{rec.vpn, rec.token})
-		default:
-			if err := d.Skip(wt); err != nil {
-				return fmt.Errorf("criu: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
-			}
-		}
-	}
-	if !haveGS {
-		return fmt.Errorf("criu: image %s has no global state: %w", im.id, rfork.ErrImageCorrupt)
+		o.TraceOpError("restore", t0, "decode")
+		return err
 	}
 
 	// Decode succeeded; reconstruct the child.
 	for _, v := range vmas {
 		if _, err := child.MM.VMAs.Insert(v); err != nil {
+			o.TraceOpError("restore", t0, "attach")
 			return err
 		}
 	}
@@ -255,10 +224,12 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 		va := pt.VirtAddr(rec.vpn << pt.PageShift)
 		v := child.MM.VMAs.Find(va)
 		if v == nil {
+			o.TraceOpError("restore", t0, "attach")
 			return fmt.Errorf("criu: page %#x outside any restored VMA", rec.vpn)
 		}
 		f, err := o.Mem.Alloc()
 		if err != nil {
+			o.TraceOpError("restore", t0, "alloc")
 			return err
 		}
 		f.Data = rec.token
@@ -272,21 +243,111 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	// VMA record decode/reconstruct and page copy-in run on the restore
 	// lanes, reading the image off the CXL filesystem through the fabric
 	// streams. Each VMA is one metadata shard; pages shard in chunks.
+	decCost := cost
 	shards := make([]des.Shard, 0, len(vmas))
 	for range vmas {
 		shards = append(shards, des.Shard{Setup: p.CRIURecordDecode + p.VMAReconstruct})
 	}
 	shards = append(shards, des.UniformShards(len(pageRecs), pageShard, 0, m.Faults.Scale(p.CRIUPageRestore))...)
-	cost += des.PipelineTime(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards)
+	obs, laneSpans := o.Trace.CollectShards()
+	pipeDur := des.PipelineTimeObs(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards, obs)
+	cost += pipeDur
 
 	o.Eng.Advance(cost)
+	gBegin := t0 + cost
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {
+		o.TraceOpError("restore", t0, "global")
 		return err
 	}
+	gEnd := o.Eng.Now()
 
 	im.Retain()
 	child.MM.OnExit(im.Release)
+	if o.Trace.Enabled() {
+		node := o.Index
+		opID := o.Trace.Emit(trace.None, node, trace.TrackOps, trace.CatOp, "restore",
+			t0, gEnd-t0, im.size, im.pages)
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "decode", t0, decCost, 0, 0)
+		restID := o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "page-restore",
+			t0+decCost, pipeDur, int64(len(pageRecs))*int64(p.PageSize), len(pageRecs))
+		o.Trace.EmitShards(restID, node, t0+decCost, laneSpans,
+			func(i int) string {
+				if i < len(vmas) {
+					return "vma-record"
+				}
+				return "page-batch"
+			},
+			func(i int) int { return shards[i].Units })
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "global-restore", gBegin, gEnd-gBegin, 0, 0)
+	}
 	return nil
+}
+
+// decodeImage verifies the envelope and fully decodes a CRIU image into
+// its global state, VMA records, and page records, along with the
+// serial record-decode cost. Any damage surfaces as ErrImageCorrupt.
+func decodeImage(id string, envelope []byte, p params.Params) (rfork.GlobalState, []vma.VMA, []pageRecord, des.Time, error) {
+	var gs rfork.GlobalState
+	var cost des.Time
+	corrupt := func(err error) error {
+		return fmt.Errorf("criu: image %s: %w: %v", id, rfork.ErrImageCorrupt, err)
+	}
+	blob, err := wire.OpenEnvelope(envelope)
+	if err != nil {
+		return gs, nil, nil, 0, corrupt(err)
+	}
+	var haveGS bool
+	var vmas []vma.VMA
+	var pageRecs []pageRecord
+
+	d := wire.NewDecoder(blob)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return gs, nil, nil, 0, corrupt(err)
+		}
+		switch field {
+		case fieldVMA:
+			b, err := d.Bytes()
+			if err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+			v, err := rfork.DecodeVMA(b)
+			if err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+			vmas = append(vmas, v) // decode+reconstruct cost folded into the lane pipeline
+		case fieldGlobal:
+			b, err := d.Bytes()
+			if err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+			gs, err = rfork.DecodeGlobalState(b)
+			if err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+			haveGS = true
+			cost += des.Time(len(gs.FDs)) * p.CRIURecordDecode
+		case fieldPage:
+			b, err := d.Bytes()
+			if err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+			rec, err := decodePage(b)
+			if err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+			pageRecs = append(pageRecs, rec)
+		default:
+			if err := d.Skip(wt); err != nil {
+				return gs, nil, nil, 0, corrupt(err)
+			}
+		}
+	}
+	if !haveGS {
+		return gs, nil, nil, 0, fmt.Errorf("criu: image %s has no global state: %w", id, rfork.ErrImageCorrupt)
+	}
+	return gs, vmas, pageRecs, cost, nil
 }
 
 type pageRecord struct {

@@ -94,3 +94,9 @@ func (d *Device) DedupIndexLen() int { return len(d.dedup) }
 func (d *Device) CopyMakespan(lanes int, shards []des.Shard) des.Time {
 	return des.Makespan(lanes, d.p.FabricStreams, d.p.LaneDispatch, shards)
 }
+
+// CopyMakespanObs is CopyMakespan with a shard observer (see
+// des.ShardObserver); a nil observer is byte-identical to CopyMakespan.
+func (d *Device) CopyMakespanObs(lanes int, shards []des.Shard, obs des.ShardObserver) des.Time {
+	return des.MakespanObs(lanes, d.p.FabricStreams, d.p.LaneDispatch, shards, obs)
+}

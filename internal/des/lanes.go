@@ -69,10 +69,34 @@ func UniformShards(n, chunk int, setupPerUnit, unitCost Time) []Shard {
 // Makespan(1, ...) (see tests) and byte-identical to the historical
 // sequential accounting. More lanes run the contention model.
 func PipelineTime(lanes, streams int, dispatch Time, shards []Shard) Time {
+	return PipelineTimeObs(lanes, streams, dispatch, shards, nil)
+}
+
+// ShardObserver receives one callback per shard as the pipeline
+// schedules it: the shard's index in the input slice, the lane it ran
+// on, and its [start, end) interval relative to the pipeline's time
+// zero. Observers are passive — they are invoked with the same values
+// whether or not anyone listens, so a nil observer and a recording
+// observer yield byte-identical makespans. The tracer uses this to
+// render per-lane shard spans.
+type ShardObserver func(shard, lane int, start, end Time)
+
+// PipelineTimeObs is PipelineTime with a shard observer. On the serial
+// path the shards are laid out back-to-back on lane 0.
+func PipelineTimeObs(lanes, streams int, dispatch Time, shards []Shard, obs ShardObserver) Time {
 	if lanes <= 1 {
-		return SerialTime(shards)
+		if obs == nil {
+			return SerialTime(shards)
+		}
+		var total Time
+		for i, s := range shards {
+			d := s.Serial()
+			obs(i, 0, total, total+d)
+			total += d
+		}
+		return total
 	}
-	return Makespan(lanes, streams, dispatch, shards)
+	return MakespanObs(lanes, streams, dispatch, shards, obs)
 }
 
 // streamChunk is how many unit copies a lane pushes through one stream
@@ -90,6 +114,16 @@ const streamChunk = 32
 // exactly equal to SerialTime and therefore byte-identical to the
 // pre-lane sequential accounting.
 func Makespan(lanes, streams int, dispatch Time, shards []Shard) Time {
+	return MakespanObs(lanes, streams, dispatch, shards, nil)
+}
+
+// MakespanObs is Makespan with a shard observer. Lane identity is
+// bookkeeping layered over the lane resource — the lowest free lane is
+// marked busy when a shard's grant fires and freed when its last unit
+// copy drains, immediately before the resource release, so FIFO
+// handoff reuses the lowest-numbered lane. The event pattern is
+// identical with or without an observer, so the makespan is too.
+func MakespanObs(lanes, streams int, dispatch Time, shards []Shard, obs ShardObserver) Time {
 	if len(shards) == 0 {
 		return 0
 	}
@@ -102,15 +136,27 @@ func Makespan(lanes, streams int, dispatch Time, shards []Shard) Time {
 	eng := NewEngine()
 	laneRes := NewResource(eng, lanes)
 	streamRes := NewResource(eng, streams)
-	for _, sh := range shards {
-		sh := sh
+	laneBusy := make([]bool, lanes)
+	for i, sh := range shards {
+		i, sh := i, sh
 		laneRes.Acquire(func(start Time) {
+			lane := 0
+			for laneBusy[lane] {
+				lane++
+			}
+			laneBusy[lane] = true
 			setup := sh.Setup
 			if lanes > 1 {
 				setup += dispatch
 			}
 			eng.At(start+setup, func() {
-				copyUnits(streamRes, laneRes, sh.Units, sh.UnitCost)
+				copyUnits(streamRes, sh.Units, sh.UnitCost, func() {
+					laneBusy[lane] = false
+					if obs != nil {
+						obs(i, lane, start, eng.Now())
+					}
+					laneRes.Release()
+				})
 			})
 		})
 	}
@@ -119,10 +165,10 @@ func Makespan(lanes, streams int, dispatch Time, shards []Shard) Time {
 }
 
 // copyUnits pushes a shard's unit copies through the stream pool in
-// chunks, then releases the shard's lane.
-func copyUnits(streamRes, laneRes *Resource, units int, unitCost Time) {
+// chunks, then calls done (which releases the shard's lane).
+func copyUnits(streamRes *Resource, units int, unitCost Time, done func()) {
 	if units <= 0 || unitCost <= 0 {
-		laneRes.Release()
+		done()
 		return
 	}
 	n := units
@@ -130,6 +176,6 @@ func copyUnits(streamRes, laneRes *Resource, units int, unitCost Time) {
 		n = streamChunk
 	}
 	streamRes.Exec(Time(n)*unitCost, func(Time) {
-		copyUnits(streamRes, laneRes, units-n, unitCost)
+		copyUnits(streamRes, units-n, unitCost, done)
 	})
 }

@@ -1,0 +1,105 @@
+package faas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/params"
+)
+
+// TestClassifyFootprintFractions profiles the synthetic test function
+// and checks the Fig. 1 methodology's outputs: fractions sum to one,
+// every class the spec declares shows up, and the observed footprint is
+// the spec's page count (library + anonymous, scratch excluded).
+func TestClassifyFootprintFractions(t *testing.T) {
+	s := smallSpec()
+	c := testCluster(t, s)
+	rng := rand.New(rand.NewSource(1))
+	b, err := ClassifyFootprint(c.Node(0), s, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != s.Name {
+		t.Errorf("breakdown name = %q, want %q", b.Name, s.Name)
+	}
+	if got := b.InitFrac + b.ROFrac + b.RWFrac; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", got)
+	}
+	if b.TotalPages <= 0 {
+		t.Fatal("no footprint pages observed")
+	}
+	// The spec writes RW pages every invocation and sweeps RO pages, so
+	// a steady-state profile must find both classes.
+	if b.RWFrac <= 0 {
+		t.Error("no read-write pages classified")
+	}
+	if b.ROFrac <= 0 {
+		t.Error("no read-only pages classified")
+	}
+}
+
+// TestClassifyFootprintDeterministic: profiling is part of the golden
+// experiment pipeline, so identical seeds must classify identically.
+func TestClassifyFootprintDeterministic(t *testing.T) {
+	s := smallSpec()
+	run := func() Breakdown {
+		c := testCluster(t, s)
+		b, err := ClassifyFootprint(c.Node(0), s, 6, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different breakdowns:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestClassifyFootprintZeroInvocations is the threshold edge case: with
+// no invocations nothing is accessed or dirtied, so every page counts as
+// init-only... except that threshold 0 promotes never-accessed pages to
+// read-only (accessCount 0 >= 0). The contract is just that it returns
+// without dividing by zero and the fractions still sum to one.
+func TestClassifyFootprintZeroInvocations(t *testing.T) {
+	s := smallSpec()
+	c := testCluster(t, s)
+	b, err := ClassifyFootprint(c.Node(0), s, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InitFrac + b.ROFrac + b.RWFrac; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", got)
+	}
+}
+
+// TestClassifyFootprintOOM drives the error path: a node whose DRAM
+// cannot hold the function's working set must surface the allocation
+// failure instead of panicking or returning a partial breakdown.
+func TestClassifyFootprintOOM(t *testing.T) {
+	s := smallSpec()
+	p := params.Default()
+	p.NodeDRAMBytes = 1 << 20 // far below the 8 MiB footprint
+	p.CXLBytes = 64 << 20
+	c := cluster.MustNew(p, 1)
+	RegisterFiles(c.FS, p, s)
+	// Deliberately no WarmLibraries: the pull would OOM the page cache
+	// before the instance even spawns; cold file faults fail instead.
+	if _, err := ClassifyFootprint(c.Node(0), s, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("classification succeeded on a node without memory for the footprint")
+	}
+}
+
+// TestClassifyFootprintUnknownLibrary exercises the instance-spawn error
+// path: the spec's library files were never registered on the FS.
+func TestClassifyFootprintUnknownLibrary(t *testing.T) {
+	s := smallSpec()
+	p := params.Default()
+	p.NodeDRAMBytes = 256 << 20
+	p.CXLBytes = 64 << 20
+	c := cluster.MustNew(p, 1)
+	if _, err := ClassifyFootprint(c.Node(0), s, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("classification succeeded without registered image files")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"cxlfork/internal/cachesim"
 	"cxlfork/internal/des"
 	"cxlfork/internal/pt"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 )
 
@@ -14,6 +15,7 @@ import (
 // faults on the library pages it touches, which is precisely the cost
 // CXLfork avoids by checkpointing clean file pages.
 func (o *OS) Fork(parent *Task, name string) (*Task, error) {
+	t0 := o.Eng.Now()
 	child := o.NewTask(name) // charges TaskCreate
 
 	child.Regs = parent.Regs
@@ -36,6 +38,7 @@ func (o *OS) Fork(parent *Task, name string) (*Task, error) {
 	})
 	if vmaErr != nil {
 		o.Exit(child)
+		o.TraceOpError("fork", t0, "vma-copy")
 		return nil, vmaErr
 	}
 
@@ -72,11 +75,13 @@ func (o *OS) Fork(parent *Task, name string) (*Task, error) {
 	})
 	if copyErr != nil {
 		o.Exit(child)
+		o.TraceOpError("fork", t0, "pt-copy")
 		return nil, copyErr
 	}
 
 	// One batched TLB flush for the parent's downgraded mappings.
 	cost += p.TLBShootdown
 	o.Eng.Advance(cost)
+	o.Trace.Emit(trace.None, o.Index, trace.TrackOps, trace.CatOp, "fork", t0, o.Eng.Now()-t0, 0, 0)
 	return child, nil
 }

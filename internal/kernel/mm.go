@@ -8,6 +8,7 @@ import (
 	"cxlfork/internal/des"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 )
 
@@ -153,6 +154,9 @@ func (mm *MM) teardown() {
 
 // charge records a fault and advances the clock.
 func (mm *MM) charge(k FaultKind, cost des.Time) {
+	if o := mm.OS; o.Trace.Enabled() {
+		o.Trace.Emit(trace.None, o.Index, trace.TrackFaults, trace.CatFault, k.String(), o.Eng.Now(), cost, 0, 1)
+	}
 	mm.OS.Eng.Advance(cost)
 	mm.Stats.Faults.Counts[k]++
 	mm.Stats.Faults.Time += cost

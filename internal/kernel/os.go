@@ -19,6 +19,7 @@ import (
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/params"
 	"cxlfork/internal/tlbsim"
+	"cxlfork/internal/trace"
 )
 
 // OS is one node's operating system instance.
@@ -45,6 +46,10 @@ type OS struct {
 	FS *fsim.FS
 	// PageCache is the node's file page cache.
 	PageCache *fsim.PageCache
+	// Trace is the cluster-shared virtual-time tracer, or nil when
+	// tracing is disabled. All emission sites are nil-safe, so the
+	// disabled path costs one pointer test.
+	Trace *trace.Tracer
 
 	nextPID  int
 	nextASID uint32
@@ -112,6 +117,7 @@ func (o *OS) allocASID() uint32 {
 // NewTask creates an empty task (no address space content) and charges
 // task-creation cost. name labels the task for diagnostics.
 func (o *OS) NewTask(name string) *Task {
+	o.Trace.Emit(trace.None, o.Index, trace.TrackOps, trace.CatOp, "task-create", o.Eng.Now(), o.P.TaskCreate, 0, 0)
 	o.Eng.Advance(o.P.TaskCreate)
 	t := &Task{
 		PID:   o.nextPID,
@@ -137,6 +143,21 @@ func (o *OS) Exit(t *Task) {
 	t.State = TaskExited
 	t.MM.teardown()
 	delete(o.tasks, t.PID)
+}
+
+// TraceOpError records a failed operation in the trace: an op span
+// covering [t0, now) — whatever cost the failed attempt charged — with
+// a zero-width error annotation naming the step that failed. Mechanisms
+// call it on every error return so traces show aborted work, not gaps.
+func (o *OS) TraceOpError(op string, t0 des.Time, step string) {
+	if !o.Trace.Enabled() {
+		return
+	}
+	now := o.Eng.Now()
+	id := o.Trace.Emit(trace.None, o.Index, trace.TrackOps, trace.CatOp, op, t0, now-t0, 0, 0)
+	if id > trace.None {
+		o.Trace.Emit(id, o.Index, trace.TrackOps, trace.CatError, step, now, 0, 0, 0)
+	}
 }
 
 // WarmFile pulls every page of a file into the node's page cache (image

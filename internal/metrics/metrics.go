@@ -31,6 +31,9 @@ func (r *LatencyRecorder) Record(d des.Time) {
 // Count returns the number of samples.
 func (r *LatencyRecorder) Count() int { return len(r.samples) }
 
+// Sum returns the total of all samples.
+func (r *LatencyRecorder) Sum() des.Time { return r.sum }
+
 // Mean returns the average latency (0 with no samples).
 func (r *LatencyRecorder) Mean() des.Time {
 	if len(r.samples) == 0 {
@@ -76,6 +79,53 @@ func (r *LatencyRecorder) Reset() {
 	r.samples = r.samples[:0]
 	r.sorted = false
 	r.sum = 0
+}
+
+// PhaseStats aggregates latency distributions keyed by phase name — the
+// per-phase histograms the virtual-time tracer folds span durations
+// into, so experiments can report a checkpoint's serialize/copy/rebase
+// decomposition (paper Fig. 6) instead of only end-to-end totals.
+type PhaseStats struct {
+	m map[string]*LatencyRecorder
+}
+
+// NewPhaseStats returns an empty phase table.
+func NewPhaseStats() *PhaseStats {
+	return &PhaseStats{m: make(map[string]*LatencyRecorder)}
+}
+
+// Record adds one sample to the named phase's distribution.
+func (s *PhaseStats) Record(phase string, d des.Time) {
+	r, ok := s.m[phase]
+	if !ok {
+		r = NewLatencyRecorder()
+		s.m[phase] = r
+	}
+	r.Record(d)
+}
+
+// Phases returns the recorded phase names, sorted (deterministic
+// iteration for reports and golden tests).
+func (s *PhaseStats) Phases() []string {
+	out := make([]string, 0, len(s.m))
+	for name := range s.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recorder returns the named phase's distribution, or nil if the phase
+// was never recorded.
+func (s *PhaseStats) Recorder(phase string) *LatencyRecorder { return s.m[phase] }
+
+// Total returns the summed time across all phases.
+func (s *PhaseStats) Total() des.Time {
+	var total des.Time
+	for _, r := range s.m {
+		total += r.Sum()
+	}
+	return total
 }
 
 // Gauge tracks a time-weighted average of a quantity sampled over

@@ -17,6 +17,7 @@ import (
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
 	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 	"cxlfork/internal/wire"
 )
@@ -108,7 +109,9 @@ const shadowShard = 128
 func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, error) {
 	o := parent.OS
 	p := o.P
+	t0 := o.Eng.Now()
 	if err := m.Faults.At(faultinject.StepCheckpointVMA, o.Index); err != nil {
+		o.TraceOpError("checkpoint", t0, "vma")
 		return nil, err
 	}
 	im := &Image{id: id, parentOS: o, shadow: make(map[uint64]shadowPage), refs: rfork.NewRefCount()}
@@ -151,14 +154,18 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	})
 	if cpErr != nil {
 		im.Release()
+		o.TraceOpError("checkpoint", t0, "alloc")
 		return nil, cpErr
 	}
 	// The shadow copy runs on the checkpoint lanes. It is a DRAM→DRAM
 	// copy, so lanes contend on the node's memory-controller streams
 	// (wider than the CXL fabric), with the PTE serialization as
 	// lane-local work. One lane charges the exact serial per-page sum.
-	cost += des.PipelineTime(p.CheckpointLanes, p.LocalCopyStreams, p.LaneDispatch,
-		des.UniformShards(im.pteCount, shadowShard, p.PTECopy, p.LocalCopyPage))
+	serCost := cost
+	shards := des.UniformShards(im.pteCount, shadowShard, p.PTECopy, p.LocalCopyPage)
+	obs, laneSpans := o.Trace.CollectShards()
+	pipeDur := des.PipelineTimeObs(p.CheckpointLanes, p.LocalCopyStreams, p.LaneDispatch, shards, obs)
+	cost += pipeDur
 	enc.PutUint(fieldPTEs, uint64(im.pteCount))
 	// The OS-state record travels in a checksummed envelope so Restore
 	// can reject corruption before touching the child.
@@ -166,6 +173,17 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	m.Faults.Corrupt(faultinject.StepCheckpointGlobal, o.Index, id, im.osState)
 
 	o.Eng.Advance(cost)
+	if o.Trace.Enabled() {
+		node := o.Index
+		opID := o.Trace.Emit(trace.None, node, trace.TrackOps, trace.CatOp, "checkpoint",
+			t0, cost, im.LocalBytes(), im.pteCount)
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "serialize", t0, serCost, 0, 0)
+		copyID := o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "shadow-copy",
+			t0+serCost, pipeDur, im.LocalBytes(), im.pteCount)
+		o.Trace.EmitShards(copyID, node, t0+serCost, laneSpans,
+			func(int) string { return "page-batch" },
+			func(i int) int { return shards[i].Units })
+	}
 	return im, nil
 }
 
@@ -179,22 +197,27 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	}
 	o := child.OS
 	p := o.P
-	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+	t0 := o.Eng.Now()
+	fail := func(step string, err error) error {
+		o.TraceOpError("restore", t0, step)
 		return err
 	}
+	if err := m.Faults.At(faultinject.StepRestoreAttach, o.Index); err != nil {
+		return fail("attach", err)
+	}
 	if im.refs.Count() <= 0 {
-		return fmt.Errorf("mitosis: restore from reclaimed image %s", im.id)
+		return fail("validate", fmt.Errorf("mitosis: restore from reclaimed image %s", im.id))
 	}
 	// Mitosis' central constraint (§3.1): the checkpoint lives in the
 	// parent node's memory, so a dead parent makes the image unusable.
 	if m.Faults.NodeDown(im.parentOS.Index) {
-		return fmt.Errorf("mitosis: image %s: parent node %d: %w", im.id, im.parentOS.Index, rfork.ErrNodeDown)
+		return fail("parent-down", fmt.Errorf("mitosis: image %s: parent node %d: %w", im.id, im.parentOS.Index, rfork.ErrNodeDown))
 	}
 
 	// Validate and fully decode the OS state before mutating the child.
 	blob, err := wire.OpenEnvelope(im.osState)
 	if err != nil {
-		return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+		return fail("validate", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 	}
 	var cost des.Time
 	var gs rfork.GlobalState
@@ -205,47 +228,47 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	for d.More() {
 		field, wt, err := d.Next()
 		if err != nil {
-			return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+			return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 		}
 		switch field {
 		case fieldVMA:
 			b, err := d.Bytes()
 			if err != nil {
-				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+				return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 			}
 			v, err := rfork.DecodeVMA(b)
 			if err != nil {
-				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+				return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 			}
 			vmas = append(vmas, v) // reconstruct cost folded into the lane pipeline below
 		case fieldGlobal:
 			b, err := d.Bytes()
 			if err != nil {
-				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+				return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 			}
 			gs, err = rfork.DecodeGlobalState(b)
 			if err != nil {
-				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+				return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 			}
 			haveGS = true
 		case fieldPTEs:
 			n, err := d.Uint()
 			if err != nil {
-				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+				return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 			}
 			pteN = int(n)
 		default:
 			if err := d.Skip(wt); err != nil {
-				return fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err)
+				return fail("decode", fmt.Errorf("mitosis: image %s: %w: %v", im.id, rfork.ErrImageCorrupt, err))
 			}
 		}
 	}
 	if !haveGS {
-		return fmt.Errorf("mitosis: image %s has no global state: %w", im.id, rfork.ErrImageCorrupt)
+		return fail("decode", fmt.Errorf("mitosis: image %s has no global state: %w", im.id, rfork.ErrImageCorrupt))
 	}
 	for _, v := range vmas {
 		if _, err := child.MM.VMAs.Insert(v); err != nil {
-			return err
+			return fail("attach", err)
 		}
 	}
 	// VMA reconstruction and the page-table transfer/deserialization run
@@ -256,15 +279,35 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 		shards = append(shards, des.Shard{Setup: p.VMAReconstruct})
 	}
 	shards = append(shards, des.UniformShards(pteN, pt.EntriesPerTable, 0, p.PTEDeserialize)...)
-	cost += des.PipelineTime(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards)
+	obs, laneSpans := o.Trace.CollectShards()
+	pipeDur := des.PipelineTimeObs(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards, obs)
+	cost += pipeDur
 	o.Eng.Advance(cost)
+	gBegin := o.Eng.Now()
 	if err := rfork.RestoreGlobalState(child, gs); err != nil {
-		return err
+		return fail("global", err)
 	}
+	gEnd := o.Eng.Now()
 
 	child.MM.Overlay = &overlay{im: im}
 	im.Retain()
 	child.MM.OnExit(im.Release)
+	if o.Trace.Enabled() {
+		node := o.Index
+		opID := o.Trace.Emit(trace.None, node, trace.TrackOps, trace.CatOp, "restore",
+			t0, gEnd-t0, 0, pteN)
+		deserID := o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "deserialize",
+			t0, gBegin-t0, 0, pteN)
+		o.Trace.EmitShards(deserID, node, t0+(gBegin-t0-pipeDur), laneSpans,
+			func(i int) string {
+				if i < len(vmas) {
+					return "vma-record"
+				}
+				return "pte-batch"
+			},
+			func(i int) int { return shards[i].Units })
+		o.Trace.Emit(opID, node, trace.TrackOps, trace.CatPhase, "global-restore", gBegin, gEnd-gBegin, 0, 0)
+	}
 	return nil
 }
 

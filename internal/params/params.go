@@ -150,6 +150,18 @@ type Params struct {
 	// miss the hash overlaps the NT-store and is not charged).
 	DedupHashPage des.Time
 
+	// ---- Tracing ----
+
+	// TraceEnabled turns on the virtual-time span tracer: every
+	// checkpoint/restore/fork/fault step records nested spans stamped
+	// with virtual time. Tracing is purely observational — it never
+	// advances a clock — so enabling it changes no simulated result.
+	TraceEnabled bool
+	// TraceBufferCap bounds the tracer's event buffer; once full, new
+	// spans are counted as dropped instead of recorded. 0 uses the
+	// tracer's default capacity.
+	TraceBufferCap int
+
 	// ---- CRIU image costs (protobuf encode/decode, file I/O on cxlfs) ----
 
 	// CRIUPageSerialize is CRIU's per-page cost to protobuf-encode and
@@ -242,6 +254,9 @@ func Default() Params {
 		LocalCopyStreams: 8,
 		LaneDispatch:     300 * des.Nanosecond,
 		DedupHashPage:    250 * des.Nanosecond,
+
+		TraceEnabled:   false,
+		TraceBufferCap: 1 << 18,
 
 		CRIUPageSerialize: 4 * des.Microsecond,
 		CRIUPageRestore:   3 * des.Microsecond,

@@ -9,6 +9,7 @@ import (
 	"cxlfork/internal/faultinject"
 	"cxlfork/internal/metrics"
 	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
 )
 
 // Run replays an arrival trace and returns latency and utilization
@@ -161,6 +162,7 @@ func (p *Porter) serve(inst *instance, req *pending) {
 	dur := p.jitter(prof.WarmExec)
 	p.res.WarmStarts++
 	inst.node.cpu.Exec(dur, func(end des.Time) {
+		p.c.Trace.EmitFlow(inst.node.os.Index, trace.CatPorter, "warm-start", end-dur, dur, 0, 0)
 		inst.warmRuns++
 		p.complete(inst, req, end)
 	})
@@ -240,7 +242,12 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 	} else {
 		p.res.ScratchCold++
 	}
+	spanName := "fork-restore"
+	if !haveCkpt {
+		spanName = "scratch-cold"
+	}
 	finish := func(end des.Time) {
+		p.c.Trace.EmitFlow(node.os.Index, trace.CatPorter, spanName, end-dur, dur, 0, pages)
 		inst.warmRuns++
 		p.complete(inst, req, end)
 	}

@@ -1,0 +1,78 @@
+package porter_test
+
+import (
+	"testing"
+
+	"cxlfork/internal/azure"
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/core"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faas"
+	"cxlfork/internal/params"
+	"cxlfork/internal/porter"
+	"cxlfork/internal/trace"
+)
+
+// tracedRun replays the golden bursty trace with the span tracer on or
+// off and returns the result fingerprint plus the cluster's tracer.
+func tracedRun(t *testing.T, traced bool) (uint64, *trace.Tracer) {
+	t.Helper()
+	p := params.Default()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	p.CheckpointLanes = 2
+	p.RestoreLanes = 2
+	p.TraceEnabled = traced
+	c := cluster.MustNew(p, 2)
+	po := porter.New(c, porter.Config{
+		Mechanism:       core.New(c.Dev),
+		Profiles:        profiles("CXLfork"),
+		NodeBudgetBytes: 1 << 30,
+		Seed:            1,
+	})
+	if err := po.Setup([]faas.Spec{tinySpec()}); err != nil {
+		t.Fatal(err)
+	}
+	req := azure.Generate(azure.TraceConfig{
+		TotalRPS: 40,
+		Duration: 10 * des.Second,
+		Loads:    azure.DefaultLoads([]string{"Tiny"}),
+		Seed:     7,
+	})
+	return po.Run(req).Fingerprint(), c.Trace
+}
+
+// TestTracingDoesNotChangePorterFingerprint is the acceptance gate for
+// the tracer's neutrality: a full autoscaler replay — thousands of
+// restores, invocations, and evictions — must produce the identical
+// Results fingerprint with the tracer on and off. The traced run must
+// also actually record request spans, pass the nesting audit, and drop
+// nothing, so the equality is not trivially about an empty trace.
+func TestTracingDoesNotChangePorterFingerprint(t *testing.T) {
+	plain, tr := tracedRun(t, false)
+	if tr.Enabled() {
+		t.Fatal("untraced run has a tracer")
+	}
+	traced, tr := tracedRun(t, true)
+	if plain != traced {
+		t.Fatalf("tracing changed the porter fingerprint: %#x vs %#x", plain, traced)
+	}
+	if !tr.Enabled() || tr.Len() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+	var porterSpans int
+	for _, e := range tr.Events() {
+		if e.Cat == trace.CatPorter {
+			porterSpans++
+		}
+	}
+	if porterSpans == 0 {
+		t.Fatal("no autoscaler request spans recorded")
+	}
+	for _, err := range trace.CheckNesting(tr.Events()) {
+		t.Errorf("nesting: %v", err)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("%d spans dropped", tr.Dropped())
+	}
+}

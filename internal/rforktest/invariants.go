@@ -9,6 +9,7 @@ import (
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/pt"
+	"cxlfork/internal/trace"
 	"cxlfork/internal/vma"
 )
 
@@ -43,11 +44,19 @@ func CheckInvariants(t testing.TB, c *cluster.Cluster) {
 //     and local (non-CXL) mappings must hold live frames with at least
 //     as many references as there are mappings of that frame on the
 //     node. Protected CXL leaves must satisfy pt.Tree.Validate.
+//
+// When the cluster runs with tracing enabled, the recorded span stream
+// is audited too (trace.CheckNesting): spans must nest — no span closes
+// before its children — and each node's per-track timelines must be
+// totally ordered by virtual time.
 func Invariants(c *cluster.Cluster) []error {
 	var errs []error
 	errs = append(errs, deviceFrameInvariants(c.Dev)...)
 	for _, node := range c.Nodes {
 		errs = append(errs, nodeTaskInvariants(node)...)
+	}
+	if c.Trace.Enabled() {
+		errs = append(errs, trace.CheckNesting(c.Trace.Events())...)
 	}
 	return errs
 }

@@ -34,10 +34,25 @@ const HeapPages = HeapROPages + HeapRWPages
 // NewCluster builds a two-node cluster sized for tests.
 func NewCluster(t testing.TB) *cluster.Cluster {
 	t.Helper()
+	return NewClusterWith(t, func(*params.Params) {})
+}
+
+// NewTracedCluster is NewCluster with the virtual-time tracer enabled,
+// so CheckInvariants additionally audits the recorded span stream.
+func NewTracedCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	return NewClusterWith(t, func(p *params.Params) { p.TraceEnabled = true })
+}
+
+// NewClusterWith builds the test cluster after applying mutate to the
+// default test parameters (lane counts, tracing, capacities).
+func NewClusterWith(t testing.TB, mutate func(*params.Params)) *cluster.Cluster {
+	t.Helper()
 	p := params.Default()
 	p.NodeDRAMBytes = 256 << 20
 	p.CXLBytes = 256 << 20
 	p.LLCBytes = 2 << 20
+	mutate(&p)
 	c := cluster.MustNew(p, 2)
 	c.FS.Create(LibPath, int64(LibPages*p.PageSize))
 	if err := c.WarmAll(LibPath); err != nil {

@@ -1,0 +1,165 @@
+package rforktest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cxlfork/internal/core"
+	"cxlfork/internal/criu"
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/faultinject"
+	"cxlfork/internal/mitosis"
+	"cxlfork/internal/params"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
+
+	icluster "cxlfork/internal/cluster"
+)
+
+func tracedMech(c *icluster.Cluster, name string) rfork.Mechanism {
+	switch name {
+	case "CRIU-CXL":
+		m := criu.New(c.CXLFS)
+		m.Faults = c.Faults
+		return m
+	case "Mitosis-CXL":
+		m := mitosis.New()
+		m.Faults = c.Faults
+		return m
+	default:
+		m := core.New(c.Dev)
+		m.Faults = c.Faults
+		return m
+	}
+}
+
+// TestTracedLifecycleSpans runs each mechanism's checkpoint/restore
+// lifecycle with tracing on and audits the span stream at every stage:
+// CheckInvariants covers nesting and per-track ordering, and the stream
+// must contain exactly one checkpoint and one restore operation span,
+// each with phase children that partition the operation's interval.
+func TestTracedLifecycleSpans(t *testing.T) {
+	for _, name := range []string{"CXLfork", "CRIU-CXL", "Mitosis-CXL"} {
+		for _, lanes := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/lanes=%d", name, lanes), func(t *testing.T) {
+				c := NewClusterWith(t, func(p *params.Params) {
+					p.TraceEnabled = true
+					p.CheckpointLanes = lanes
+					p.RestoreLanes = lanes
+				})
+				mech := tracedMech(c, name)
+				parent := BuildParent(t, c)
+				CheckInvariants(t, c)
+
+				img, err := mech.Checkpoint(parent, "traced")
+				if err != nil {
+					t.Fatal(err)
+				}
+				CheckInvariants(t, c)
+
+				child := c.Node(1).NewTask("clone")
+				if err := mech.Restore(child, img, rfork.Options{}); err != nil {
+					t.Fatal(err)
+				}
+				CheckInvariants(t, c)
+
+				ops := make(map[string]trace.Event)
+				byID := c.Trace.Events()
+				childPhases := make(map[trace.SpanID][]trace.Event)
+				for _, e := range byID {
+					if e.Cat == trace.CatOp {
+						ops[e.Name] = e
+					}
+					if e.Cat == trace.CatPhase {
+						childPhases[e.Parent] = append(childPhases[e.Parent], e)
+					}
+				}
+				for i, e := range byID {
+					if e.Cat == trace.CatOp && (e.Name == "checkpoint" || e.Name == "restore") {
+						var sum int64
+						for _, ph := range childPhases[trace.SpanID(i+1)] {
+							sum += int64(ph.Dur)
+						}
+						if sum != int64(e.Dur) {
+							t.Errorf("%s phases sum to %d, op lasts %d", e.Name, sum, e.Dur)
+						}
+					}
+				}
+				ck, ok := ops["checkpoint"]
+				if !ok {
+					t.Fatal("no checkpoint op span recorded")
+				}
+				if ck.Node != 0 {
+					t.Errorf("checkpoint span on node %d, want 0", ck.Node)
+				}
+				rs, ok := ops["restore"]
+				if !ok {
+					t.Fatal("no restore op span recorded")
+				}
+				if rs.Node != 1 {
+					t.Errorf("restore span on node %d, want 1", rs.Node)
+				}
+				if rs.Begin < ck.End() {
+					t.Errorf("restore [%d,...) begins before checkpoint ends at %d", rs.Begin, ck.End())
+				}
+				if lanes > 1 {
+					var laneSpans int
+					for _, e := range byID {
+						if e.Cat == trace.CatLane {
+							laneSpans++
+						}
+					}
+					if laneSpans == 0 {
+						t.Error("multi-lane run recorded no lane spans")
+					}
+				}
+				if c.Trace.Dropped() != 0 {
+					t.Errorf("%d spans dropped", c.Trace.Dropped())
+				}
+			})
+		}
+	}
+}
+
+// TestTracedFaultAnnotations injects a device-full fault into a traced
+// checkpoint: the failed attempt must appear as an operation span
+// carrying a zero-width error annotation naming the failed step, and
+// the stream must still pass the nesting audit.
+func TestTracedFaultAnnotations(t *testing.T) {
+	c := NewTracedCluster(t)
+	mech := tracedMech(c, "CXLfork")
+	parent := BuildParent(t, c)
+
+	c.Faults.Inject(faultinject.Rule{
+		Kind: faultinject.DeviceFull,
+		Step: faultinject.StepCheckpointVMA,
+		Node: faultinject.AnyNode,
+	})
+	if _, err := mech.Checkpoint(parent, "doomed"); !errors.Is(err, cxl.ErrDeviceFull) {
+		t.Fatalf("injected fault: got %v, want ErrDeviceFull", err)
+	}
+	CheckInvariants(t, c)
+
+	var annotations []trace.Event
+	for _, e := range c.Trace.Events() {
+		if e.Cat == trace.CatError {
+			annotations = append(annotations, e)
+		}
+	}
+	if len(annotations) != 1 {
+		t.Fatalf("recorded %d error annotations, want 1: %+v", len(annotations), annotations)
+	}
+	a := annotations[0]
+	if a.Name != "vma" || a.Dur != 0 || a.Parent == trace.None {
+		t.Errorf("error annotation = %+v, want zero-width child named \"vma\"", a)
+	}
+
+	// The retry succeeds and traces normally.
+	img, err := mech.Checkpoint(parent, "retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img.Release()
+	CheckInvariants(t, c)
+}

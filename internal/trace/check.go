@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckNesting audits a recorded event stream against the trace model's
+// structural invariants and returns every violation found. It is wired
+// into the rforktest cluster invariants, so scenario tests validate the
+// trace as they validate refcounts.
+//
+// The invariants:
+//
+//  1. Spans are closed intervals: Dur >= 0 (no span "closes before it
+//     opens"), and every recorded span is complete — the emit API only
+//     records finished spans, so an event with negative duration can
+//     only come from a corrupted decode.
+//
+//  2. Parenthood is well-formed: a span's parent was emitted before it
+//     (parent ID < own ID), lives on the same node, and contains it —
+//     a parent never closes before its children ([begin, end) child
+//     interval inside the parent's).
+//
+//  3. Per (node, track), spans form a laminar family: any two are
+//     disjoint or one contains the other, so each node's timeline is a
+//     forest totally ordered by virtual time. Intervals are half-open,
+//     so a zero-width annotation at another span's end is disjoint
+//     from it.
+func CheckNesting(events []Event) []error {
+	var errs []error
+	for i, e := range events {
+		id := SpanID(i + 1)
+		if e.Dur < 0 {
+			errs = append(errs, fmt.Errorf("trace: span %d %s/%s has negative duration %d", id, e.Cat, e.Name, e.Dur))
+			continue
+		}
+		if e.Parent == None {
+			continue
+		}
+		if e.Parent < None || e.Parent >= id {
+			errs = append(errs, fmt.Errorf("trace: span %d %s/%s has invalid parent %d", id, e.Cat, e.Name, e.Parent))
+			continue
+		}
+		p := events[e.Parent-1]
+		if p.Node != e.Node {
+			errs = append(errs, fmt.Errorf("trace: span %d %s/%s on node %d has parent %d on node %d",
+				id, e.Cat, e.Name, e.Node, e.Parent, p.Node))
+		}
+		if e.Begin < p.Begin || e.End() > p.End() {
+			errs = append(errs, fmt.Errorf("trace: span %d %s/%s [%d,%d) escapes parent %d %s/%s [%d,%d)",
+				id, e.Cat, e.Name, e.Begin, e.End(), e.Parent, p.Cat, p.Name, p.Begin, p.End()))
+		}
+	}
+	errs = append(errs, checkLaminar(events)...)
+	return errs
+}
+
+// checkLaminar verifies that spans sharing a (node, track) timeline are
+// pairwise disjoint or nested.
+func checkLaminar(events []Event) []error {
+	var errs []error
+	type key struct{ node, track int }
+	byTrack := make(map[key][]int)
+	var keys []key
+	for i, e := range events {
+		if e.Dur < 0 {
+			continue // already reported
+		}
+		k := key{e.Node, e.Track}
+		if _, ok := byTrack[k]; !ok {
+			keys = append(keys, k)
+		}
+		byTrack[k] = append(byTrack[k], i)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].track < keys[j].track
+	})
+	for _, k := range keys {
+		idx := byTrack[k]
+		// Sweep in (begin asc, end desc) order so a containing span is
+		// visited before the spans it contains.
+		sort.SliceStable(idx, func(a, b int) bool {
+			ea, eb := events[idx[a]], events[idx[b]]
+			if ea.Begin != eb.Begin {
+				return ea.Begin < eb.Begin
+			}
+			return ea.End() > eb.End()
+		})
+		var stack []int
+		for _, i := range idx {
+			e := events[i]
+			for len(stack) > 0 && events[stack[len(stack)-1]].End() <= e.Begin {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := events[stack[len(stack)-1]]
+				if e.End() > top.End() {
+					errs = append(errs, fmt.Errorf(
+						"trace: node %d track %d: span %d %s/%s [%d,%d) overlaps span %d %s/%s [%d,%d) without nesting",
+						k.node, k.track, SpanID(i+1), e.Cat, e.Name, e.Begin, e.End(),
+						SpanID(stack[len(stack)-1]+1), top.Cat, top.Name, top.Begin, top.End()))
+					continue
+				}
+			}
+			if e.Dur > 0 {
+				stack = append(stack, i)
+			}
+		}
+	}
+	return errs
+}

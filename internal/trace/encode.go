@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"fmt"
+
+	"cxlfork/internal/des"
+	"cxlfork/internal/wire"
+)
+
+// Binary trace format: a wire-encoded record sequence wrapped in a
+// checksummed envelope, the same substrate the checkpoint images use.
+// Field 1 is a format version varint; each event is one nested message
+// in field 2. Unknown event fields are skipped on decode, so the format
+// can grow without breaking old readers.
+
+// Envelope record field tags.
+const (
+	traceFieldVersion = 1
+	traceFieldEvent   = 2
+
+	evFieldName   = 1
+	evFieldCat    = 2
+	evFieldNode   = 3
+	evFieldTrack  = 4
+	evFieldBegin  = 5
+	evFieldDur    = 6
+	evFieldParent = 7
+	evFieldBytes  = 8
+	evFieldPages  = 9
+)
+
+// EncodeVersion is the current binary trace format version.
+const EncodeVersion = 1
+
+// EncodeEvents serializes events into a checksummed trace envelope.
+func EncodeEvents(events []Event) []byte {
+	enc := wire.NewEncoder()
+	enc.PutUint(traceFieldVersion, EncodeVersion)
+	for _, e := range events {
+		ev := wire.NewEncoder()
+		ev.PutString(evFieldName, e.Name)
+		ev.PutString(evFieldCat, e.Cat)
+		ev.PutUint(evFieldNode, uint64(e.Node))
+		ev.PutUint(evFieldTrack, uint64(e.Track))
+		ev.PutInt(evFieldBegin, int64(e.Begin))
+		ev.PutInt(evFieldDur, int64(e.Dur))
+		ev.PutInt(evFieldParent, int64(e.Parent))
+		ev.PutInt(evFieldBytes, e.Bytes)
+		ev.PutInt(evFieldPages, int64(e.Pages))
+		enc.PutMessage(traceFieldEvent, ev)
+	}
+	return wire.SealEnvelope(enc.Bytes())
+}
+
+// DecodeEvents verifies and parses a trace envelope produced by
+// EncodeEvents. Corruption surfaces as an error wrapping
+// wire.ErrCorrupt; the checksum rejects bit flips before any field is
+// interpreted.
+func DecodeEvents(blob []byte) ([]Event, error) {
+	payload, err := wire.OpenEnvelope(blob)
+	if err != nil {
+		return nil, fmt.Errorf("trace: envelope: %w", err)
+	}
+	var events []Event
+	d := wire.NewDecoder(payload)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		switch field {
+		case traceFieldVersion:
+			v, err := d.Uint()
+			if err != nil {
+				return nil, fmt.Errorf("trace: version: %w", err)
+			}
+			if v != EncodeVersion {
+				return nil, fmt.Errorf("%w: trace format version %d, want %d", wire.ErrCorrupt, v, EncodeVersion)
+			}
+		case traceFieldEvent:
+			b, err := d.Bytes()
+			if err != nil {
+				return nil, fmt.Errorf("trace: event record: %w", err)
+			}
+			e, err := decodeEvent(b)
+			if err != nil {
+				return nil, err
+			}
+			events = append(events, e)
+		default:
+			if err := d.Skip(wt); err != nil {
+				return nil, fmt.Errorf("trace: %w", err)
+			}
+		}
+	}
+	return events, nil
+}
+
+func decodeEvent(b []byte) (Event, error) {
+	var e Event
+	d := wire.NewDecoder(b)
+	for d.More() {
+		field, wt, err := d.Next()
+		if err != nil {
+			return e, fmt.Errorf("trace: event field: %w", err)
+		}
+		switch field {
+		case evFieldName:
+			s, err := d.String()
+			if err != nil {
+				return e, fmt.Errorf("trace: event name: %w", err)
+			}
+			e.Name = s
+		case evFieldCat:
+			s, err := d.String()
+			if err != nil {
+				return e, fmt.Errorf("trace: event cat: %w", err)
+			}
+			e.Cat = s
+		case evFieldNode:
+			v, err := d.Uint()
+			if err != nil {
+				return e, fmt.Errorf("trace: event node: %w", err)
+			}
+			e.Node = int(v)
+		case evFieldTrack:
+			v, err := d.Uint()
+			if err != nil {
+				return e, fmt.Errorf("trace: event track: %w", err)
+			}
+			e.Track = int(v)
+		case evFieldBegin:
+			v, err := d.Int()
+			if err != nil {
+				return e, fmt.Errorf("trace: event begin: %w", err)
+			}
+			e.Begin = des.Time(v)
+		case evFieldDur:
+			v, err := d.Int()
+			if err != nil {
+				return e, fmt.Errorf("trace: event dur: %w", err)
+			}
+			e.Dur = des.Time(v)
+		case evFieldParent:
+			v, err := d.Int()
+			if err != nil {
+				return e, fmt.Errorf("trace: event parent: %w", err)
+			}
+			e.Parent = SpanID(v)
+		case evFieldBytes:
+			v, err := d.Int()
+			if err != nil {
+				return e, fmt.Errorf("trace: event bytes: %w", err)
+			}
+			e.Bytes = v
+		case evFieldPages:
+			v, err := d.Int()
+			if err != nil {
+				return e, fmt.Errorf("trace: event pages: %w", err)
+			}
+			e.Pages = int(v)
+		default:
+			if err := d.Skip(wt); err != nil {
+				return e, fmt.Errorf("trace: event field %d: %w", field, err)
+			}
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,254 @@
+// Package trace implements a zero-overhead-when-disabled virtual-time
+// span tracer for the simulation. Every checkpoint, restore, fork, and
+// fault step records a span stamped with des.Time — node, operation,
+// phase, bytes, pages — and spans nest: an operation span contains its
+// phase spans, a copy phase contains the per-shard lane spans the
+// pipeline scheduler observed. The event stream exports to Chrome
+// trace_event JSON (viewable in Perfetto, chrome.go), to a compact
+// checksummed binary form (encode.go), and folds into per-phase latency
+// histograms (metrics.PhaseStats).
+//
+// The tracer is pull-free and purely observational: it never advances a
+// clock or touches simulation state, so enabling it cannot change any
+// simulated result — the golden fingerprint tests enforce this. All
+// methods are nil-safe; a nil *Tracer is the disabled tracer, and the
+// only cost on the disabled path is a nil check.
+//
+// Determinism: events append in emission order, which is a pure function
+// of the (seeded) simulation, and the exporters iterate in that order or
+// in sorted orders — identical seeds yield byte-identical traces.
+package trace
+
+import (
+	"cxlfork/internal/des"
+	"cxlfork/internal/metrics"
+)
+
+// SpanID identifies an emitted span. IDs are 1-based; None (0) is the
+// root parent and Dropped (-1) marks a span the buffer rejected.
+type SpanID int
+
+// Sentinel span IDs.
+const (
+	// None is the root parent: a span with Parent == None is top-level.
+	None SpanID = 0
+	// Dropped is returned when a span could not be recorded (buffer full,
+	// or its parent was itself dropped). Children of a dropped span are
+	// dropped too, keeping the recorded tree closed under parenthood.
+	Dropped SpanID = -1
+)
+
+// Event categories. Histograms key on Cat + "/" + Name; lane events are
+// excluded from histograms (they are sub-phase detail).
+const (
+	// CatOp marks a whole operation: checkpoint, restore, fork,
+	// task-create.
+	CatOp = "op"
+	// CatPhase marks one phase inside an operation (serialize, copy,
+	// attach, global-restore, prefetch...).
+	CatPhase = "phase"
+	// CatLane marks one pipeline shard on one copy lane.
+	CatLane = "lane"
+	// CatFault marks a page fault, named by its kernel.FaultKind.
+	CatFault = "fault"
+	// CatError marks a zero-width failure annotation inside an operation
+	// span, named by the step that failed.
+	CatError = "error"
+	// CatPorter marks autoscaler request service spans (warm-start,
+	// fork-restore, scratch-cold).
+	CatPorter = "porter"
+)
+
+// Track (virtual thread) layout per node. Operations and their phases
+// serialize on one track, faults get their own so a fault burst inside
+// an operation window never overlaps it on the same timeline, and each
+// copy lane renders on its own track so Perfetto shows the pipeline's
+// true parallelism. Concurrent autoscaler spans are placed on
+// dynamically assigned flow tracks (EmitFlow).
+const (
+	// TrackOps carries operation and phase spans.
+	TrackOps = 0
+	// TrackFaults carries fault events.
+	TrackFaults = 1
+	// TrackLaneBase + lane carries that copy lane's shard spans.
+	TrackLaneBase = 2
+	// trackFlowBase is where EmitFlow's dynamically assigned tracks
+	// start; it bounds the lane count a trace can render distinctly.
+	trackFlowBase = 64
+)
+
+// DefaultBufferCap is the event capacity used when params leave
+// TraceBufferCap zero.
+const DefaultBufferCap = 1 << 18
+
+// Event is one recorded span. Begin and Dur are virtual time; zero-Dur
+// events are instantaneous annotations.
+type Event struct {
+	Name   string
+	Cat    string
+	Node   int
+	Track  int
+	Begin  des.Time
+	Dur    des.Time
+	Parent SpanID
+	// Bytes is the payload volume the span moved (0 when not meaningful).
+	Bytes int64
+	// Pages is the page/frame count the span covered (0 when not
+	// meaningful).
+	Pages int
+}
+
+// End returns the span's exclusive end time.
+func (e Event) End() des.Time { return e.Begin + e.Dur }
+
+// Tracer records spans into a bounded buffer. The zero value is not
+// usable; construct with New. A nil Tracer is the disabled tracer.
+type Tracer struct {
+	cap      int
+	events   []Event
+	dropped  int64
+	phases   *metrics.PhaseStats
+	flowEnds map[int][]des.Time // per node: end time of the last span on each flow track
+}
+
+// New returns an enabled tracer holding at most bufferCap events
+// (DefaultBufferCap when <= 0). Once full, further spans are counted in
+// Dropped and discarded — the buffer never reallocates past the cap, so
+// a runaway scenario degrades to counting instead of consuming memory.
+func New(bufferCap int) *Tracer {
+	if bufferCap <= 0 {
+		bufferCap = DefaultBufferCap
+	}
+	return &Tracer{
+		cap:      bufferCap,
+		phases:   metrics.NewPhaseStats(),
+		flowEnds: make(map[int][]des.Time),
+	}
+}
+
+// Enabled reports whether spans are being recorded. It is the guard for
+// any caller-side work beyond the Emit call itself (building shard
+// observers, formatting names).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one complete span and returns its ID for use as a parent.
+// Mechanisms accumulate costs before advancing the clock, so spans are
+// emitted with explicit [begin, begin+dur) intervals once the interval
+// is known, parents before children. A nil tracer, a full buffer, or a
+// dropped parent yields Dropped.
+func (t *Tracer) Emit(parent SpanID, node, track int, cat, name string, begin, dur des.Time, bytes int64, pages int) SpanID {
+	if t == nil {
+		return Dropped
+	}
+	if dur < 0 {
+		panic("trace: negative span duration")
+	}
+	if parent < 0 || int(parent) > len(t.events) || len(t.events) >= t.cap {
+		t.dropped++
+		return Dropped
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Node: node, Track: track,
+		Begin: begin, Dur: dur, Parent: parent, Bytes: bytes, Pages: pages,
+	})
+	if cat != CatLane {
+		t.phases.Record(cat+"/"+name, dur)
+	}
+	return SpanID(len(t.events))
+}
+
+// EmitFlow records a top-level span on a dynamically assigned per-node
+// track, for operations that overlap in virtual time (concurrent
+// autoscaler requests on one node's cores). Tracks are assigned
+// greedily: the lowest track whose previous span ended by begin, a
+// deterministic function of emission order.
+func (t *Tracer) EmitFlow(node int, cat, name string, begin, dur des.Time, bytes int64, pages int) SpanID {
+	if t == nil {
+		return Dropped
+	}
+	lanes := t.flowEnds[node]
+	slot := -1
+	for i, end := range lanes {
+		if end <= begin {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = len(lanes)
+		lanes = append(lanes, 0)
+	}
+	lanes[slot] = begin + dur
+	t.flowEnds[node] = lanes
+	return t.Emit(None, node, trackFlowBase+slot, cat, name, begin, dur, bytes, pages)
+}
+
+// Events returns the recorded spans in emission order. The slice is the
+// tracer's backing store: callers must not mutate it. A nil tracer
+// returns nil.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many spans the buffer rejected.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Phases returns the per-phase latency histograms (keyed cat/name), or
+// nil for a disabled tracer.
+func (t *Tracer) Phases() *metrics.PhaseStats {
+	if t == nil {
+		return nil
+	}
+	return t.phases
+}
+
+// ShardSpan is one pipeline shard's observed execution interval, as
+// reported by a des.ShardObserver: shard index, the lane it ran on, and
+// its [Start, End) interval relative to the pipeline's own time zero.
+type ShardSpan struct {
+	Shard, Lane int
+	Start, End  des.Time
+}
+
+// CollectShards returns a des.ShardObserver that appends each shard's
+// interval to the returned slice, for replay as lane spans once the
+// containing phase's begin time is known (EmitShards). A disabled
+// tracer returns (nil, nil) so the pipeline runs observer-free.
+func (t *Tracer) CollectShards() (des.ShardObserver, *[]ShardSpan) {
+	if t == nil {
+		return nil, nil
+	}
+	spans := &[]ShardSpan{}
+	return func(shard, lane int, start, end des.Time) {
+		*spans = append(*spans, ShardSpan{Shard: shard, Lane: lane, Start: start, End: end})
+	}, spans
+}
+
+// EmitShards emits one lane span per collected shard interval as
+// children of parent, shifting pipeline-relative intervals by begin.
+// name and pages map a shard index to its span name and unit count.
+func (t *Tracer) EmitShards(parent SpanID, node int, begin des.Time, spans *[]ShardSpan, name func(shard int) string, pages func(shard int) int) {
+	if t == nil || spans == nil {
+		return
+	}
+	for _, s := range *spans {
+		t.Emit(parent, node, TrackLaneBase+s.Lane, CatLane, name(s.Shard),
+			begin+s.Start, s.End-s.Start, 0, pages(s.Shard))
+	}
+}

@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cxlfork/internal/des"
+	"cxlfork/internal/wire"
+)
+
+func TestEmitRecordsSpansAndPhases(t *testing.T) {
+	tr := New(0)
+	op := tr.Emit(None, 0, TrackOps, CatOp, "checkpoint", 100, 50, 4096, 1)
+	if op != 1 {
+		t.Fatalf("first span ID = %d, want 1", op)
+	}
+	ph := tr.Emit(op, 0, TrackOps, CatPhase, "copy", 100, 30, 4096, 1)
+	if ph != 2 {
+		t.Fatalf("second span ID = %d, want 2", ph)
+	}
+	ln := tr.Emit(ph, 0, TrackLaneBase, CatLane, "pt-leaf", 100, 30, 0, 1)
+	if ln != 3 {
+		t.Fatalf("lane span ID = %d, want 3", ln)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if got := tr.Events()[1].Parent; got != op {
+		t.Errorf("phase parent = %d, want %d", got, op)
+	}
+	// Histograms key cat/name; lane spans are excluded.
+	ps := tr.Phases()
+	if r := ps.Recorder("op/checkpoint"); r == nil || r.Count() != 1 || r.Sum() != 50 {
+		t.Errorf("op/checkpoint histogram missing or wrong: %+v", r)
+	}
+	if r := ps.Recorder("phase/copy"); r == nil || r.Count() != 1 {
+		t.Errorf("phase/copy histogram missing")
+	}
+	if r := ps.Recorder("lane/pt-leaf"); r != nil {
+		t.Errorf("lane spans must not enter histograms")
+	}
+}
+
+func TestNilTracerIsDisabledAndSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if id := tr.Emit(None, 0, 0, CatOp, "x", 0, 1, 0, 0); id != Dropped {
+		t.Errorf("nil Emit = %d, want Dropped", id)
+	}
+	if id := tr.EmitFlow(0, CatPorter, "x", 0, 1, 0, 0); id != Dropped {
+		t.Errorf("nil EmitFlow = %d, want Dropped", id)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil || tr.Phases() != nil {
+		t.Error("nil tracer accessors must return zero values")
+	}
+	obs, spans := tr.CollectShards()
+	if obs != nil || spans != nil {
+		t.Error("nil CollectShards must return (nil, nil)")
+	}
+	tr.EmitShards(None, 0, 0, spans, nil, nil) // must not panic
+}
+
+func TestBufferCapDropsAndClosedUnderParenthood(t *testing.T) {
+	tr := New(2)
+	a := tr.Emit(None, 0, 0, CatOp, "a", 0, 1, 0, 0)
+	tr.Emit(a, 0, 0, CatPhase, "b", 0, 1, 0, 0)
+	c := tr.Emit(None, 0, 0, CatOp, "c", 2, 1, 0, 0)
+	if c != Dropped {
+		t.Fatalf("span past cap = %d, want Dropped", c)
+	}
+	// A child of a dropped span is dropped too.
+	if id := tr.Emit(c, 0, 0, CatPhase, "d", 2, 1, 0, 0); id != Dropped {
+		t.Fatalf("child of dropped = %d, want Dropped", id)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 2 {
+		t.Fatalf("Len=%d Dropped=%d, want 2 and 2", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestEmitNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration must panic")
+		}
+	}()
+	New(0).Emit(None, 0, 0, CatOp, "x", 10, -1, 0, 0)
+}
+
+func TestEmitFlowAssignsDisjointTracks(t *testing.T) {
+	tr := New(0)
+	tr.EmitFlow(0, CatPorter, "a", 0, 100, 0, 0)  // slot 0
+	tr.EmitFlow(0, CatPorter, "b", 50, 100, 0, 0) // overlaps a -> slot 1
+	tr.EmitFlow(0, CatPorter, "c", 100, 10, 0, 0) // a ended -> slot 0 again
+	tr.EmitFlow(1, CatPorter, "d", 50, 10, 0, 0)  // other node -> its own slot 0
+	ev := tr.Events()
+	wantTracks := []int{trackFlowBase, trackFlowBase + 1, trackFlowBase, trackFlowBase}
+	for i, want := range wantTracks {
+		if ev[i].Track != want {
+			t.Errorf("event %d track = %d, want %d", i, ev[i].Track, want)
+		}
+	}
+	if errs := CheckNesting(ev); len(errs) != 0 {
+		t.Errorf("flow spans violate nesting: %v", errs)
+	}
+}
+
+func TestCheckNestingInvariants(t *testing.T) {
+	cases := []struct {
+		name    string
+		events  []Event
+		wantErr string // substring; "" means no violations
+	}{
+		{
+			name: "well nested",
+			events: []Event{
+				{Name: "op", Cat: CatOp, Begin: 0, Dur: 100},
+				{Name: "p1", Cat: CatPhase, Begin: 0, Dur: 40, Parent: 1},
+				{Name: "p2", Cat: CatPhase, Begin: 40, Dur: 60, Parent: 1},
+			},
+		},
+		{
+			name: "zero-width annotation at parent end",
+			events: []Event{
+				{Name: "op", Cat: CatOp, Begin: 0, Dur: 100},
+				{Name: "err", Cat: CatError, Begin: 100, Dur: 0, Parent: 1},
+			},
+		},
+		{
+			name: "negative duration",
+			events: []Event{
+				{Name: "op", Cat: CatOp, Begin: 10, Dur: -5},
+			},
+			wantErr: "negative duration",
+		},
+		{
+			name: "child escapes parent",
+			events: []Event{
+				{Name: "op", Cat: CatOp, Begin: 0, Dur: 100},
+				{Name: "p", Cat: CatPhase, Begin: 90, Dur: 20, Parent: 1},
+			},
+			wantErr: "escapes parent",
+		},
+		{
+			name: "parent on another node",
+			events: []Event{
+				{Name: "op", Cat: CatOp, Node: 0, Begin: 0, Dur: 100},
+				{Name: "p", Cat: CatPhase, Node: 1, Begin: 0, Dur: 10, Parent: 1},
+			},
+			wantErr: "on node",
+		},
+		{
+			name: "forward parent reference",
+			events: []Event{
+				{Name: "p", Cat: CatPhase, Begin: 0, Dur: 10, Parent: 2},
+				{Name: "op", Cat: CatOp, Begin: 0, Dur: 100},
+			},
+			wantErr: "invalid parent",
+		},
+		{
+			name: "self parent",
+			events: []Event{
+				{Name: "op", Cat: CatOp, Begin: 0, Dur: 100, Parent: 1},
+			},
+			wantErr: "invalid parent",
+		},
+		{
+			name: "partial overlap on one track",
+			events: []Event{
+				{Name: "a", Cat: CatOp, Begin: 0, Dur: 100},
+				{Name: "b", Cat: CatOp, Begin: 50, Dur: 100},
+			},
+			wantErr: "without nesting",
+		},
+		{
+			name: "same interval on different tracks is fine",
+			events: []Event{
+				{Name: "a", Cat: CatOp, Track: 0, Begin: 0, Dur: 100},
+				{Name: "b", Cat: CatFault, Track: 1, Begin: 50, Dur: 100},
+			},
+		},
+		{
+			name: "adjacent spans are disjoint",
+			events: []Event{
+				{Name: "a", Cat: CatOp, Begin: 0, Dur: 50},
+				{Name: "b", Cat: CatOp, Begin: 50, Dur: 50},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := CheckNesting(tc.events)
+			if tc.wantErr == "" {
+				if len(errs) != 0 {
+					t.Fatalf("unexpected violations: %v", errs)
+				}
+				return
+			}
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.wantErr) {
+					return
+				}
+			}
+			t.Fatalf("no violation containing %q in %v", tc.wantErr, errs)
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	events := []Event{
+		{Name: "checkpoint", Cat: CatOp, Node: 1, Track: 0, Begin: 10, Dur: 90, Parent: 0, Bytes: 1 << 20, Pages: 256},
+		{Name: "copy", Cat: CatPhase, Node: 1, Track: 0, Begin: 20, Dur: 70, Parent: 1, Bytes: 1 << 20, Pages: 256},
+		{Name: "pt-leaf", Cat: CatLane, Node: 1, Track: 3, Begin: 20, Dur: 35, Parent: 2, Pages: 128},
+	}
+	blob := EncodeEvents(events)
+	got, err := DecodeEvents(blob)
+	if err != nil {
+		t.Fatalf("DecodeEvents: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d mismatch: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	blob := EncodeEvents([]Event{{Name: "x", Cat: CatOp, Dur: 5}})
+	blob[len(blob)/2] ^= 0x40
+	if _, err := DecodeEvents(blob); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+	if _, err := DecodeEvents(blob[:3]); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	// A valid envelope with an unknown format version is corrupt too.
+	enc := wire.NewEncoder()
+	enc.PutUint(traceFieldVersion, EncodeVersion+1)
+	if _, err := DecodeEvents(wire.SealEnvelope(enc.Bytes())); err == nil {
+		t.Fatal("future format version not rejected")
+	}
+}
+
+func TestWriteChromeIsValidJSONAndDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(0)
+		op := tr.Emit(None, 0, TrackOps, CatOp, "checkpoint", 1000, 500, 4096, 1)
+		tr.Emit(op, 0, TrackOps, CatPhase, "copy", 1000, 500, 4096, 1)
+		tr.Emit(None, 1, TrackFaults, CatFault, "cow-cxl", 1700, 40, 0, 1)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteChrome(&a); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := build().WriteChrome(&b); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical traces serialized differently")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var xEvents int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			xEvents++
+		}
+	}
+	if xEvents != 3 {
+		t.Errorf("found %d X events, want 3", xEvents)
+	}
+	// ts round-trips exactly: 1000ns -> 1.000us.
+	if doc.TraceEvents[len(doc.TraceEvents)-3].Ts != 1.0 {
+		t.Errorf("first X event ts = %v, want 1.0", doc.TraceEvents[len(doc.TraceEvents)-3].Ts)
+	}
+}
+
+func TestCollectAndEmitShards(t *testing.T) {
+	tr := New(0)
+	shards := []des.Shard{
+		{Setup: 10},
+		{Setup: 5, Units: 64, UnitCost: 2},
+		{Setup: 5, Units: 64, UnitCost: 2},
+	}
+	obs, spans := tr.CollectShards()
+	dur := des.PipelineTimeObs(2, 2, 1, shards, obs)
+	if len(*spans) != len(shards) {
+		t.Fatalf("observed %d shards, want %d", len(*spans), len(shards))
+	}
+	op := tr.Emit(None, 0, TrackOps, CatOp, "checkpoint", 100, dur, 0, 0)
+	copyID := tr.Emit(op, 0, TrackOps, CatPhase, "copy", 100, dur, 0, 0)
+	tr.EmitShards(copyID, 0, 100, spans,
+		func(int) string { return "pt-leaf" },
+		func(i int) int { return shards[i].Units })
+	if errs := CheckNesting(tr.Events()); len(errs) != 0 {
+		t.Fatalf("shard spans violate nesting: %v", errs)
+	}
+	for _, e := range tr.Events()[2:] {
+		if e.Track < TrackLaneBase {
+			t.Errorf("lane span on track %d, want >= %d", e.Track, TrackLaneBase)
+		}
+		if e.Begin < 100 || e.End() > 100+dur {
+			t.Errorf("lane span [%d,%d) outside phase [100,%d)", e.Begin, e.End(), 100+dur)
+		}
+	}
+}

@@ -53,6 +53,16 @@ func FuzzOpenEnvelope(f *testing.F) {
 		f.Add(bad)
 	}
 	f.Add([]byte{0x80, 0x80, 0x80, 0x80})
+	// Trace-envelope-shaped records (the shape trace.EncodeEvents
+	// produces: a version varint, then nested event messages), pristine
+	// and with a flipped byte inside a nested message.
+	traceShaped := sealedTraceShapedEnvelope()
+	f.Add(traceShaped)
+	for _, i := range []int{4, len(traceShaped) / 2} {
+		bad := append([]byte(nil), traceShaped...)
+		bad[i] ^= 0x10
+		f.Add(bad)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := OpenEnvelope(data)
@@ -68,4 +78,27 @@ func FuzzOpenEnvelope(f *testing.F) {
 			t.Fatalf("round trip failed: %v", err)
 		}
 	})
+}
+
+// sealedTraceShapedEnvelope builds a payload with the binary trace
+// format's shape using only wire primitives (wire cannot import trace:
+// the dependency runs the other way). Field 1 is a format version,
+// each field 2 is one nested span record.
+func sealedTraceShapedEnvelope() []byte {
+	enc := NewEncoder()
+	enc.PutUint(1, 1)
+	for i, name := range []string{"checkpoint", "copy", "pt-leaf"} {
+		ev := NewEncoder()
+		ev.PutString(1, name)
+		ev.PutString(2, "op")
+		ev.PutUint(3, uint64(i%2))  // node
+		ev.PutUint(4, uint64(i))    // track
+		ev.PutInt(5, int64(i)*1000) // begin
+		ev.PutInt(6, 500)           // dur
+		ev.PutInt(7, int64(i))      // parent
+		ev.PutInt(8, 1<<20)         // bytes
+		ev.PutInt(9, 256)           // pages
+		enc.PutMessage(2, ev)
+	}
+	return SealEnvelope(enc.Bytes())
 }
