@@ -21,11 +21,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, all")
 	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
-	rps := flag.Float64("rps", 150, "fig10: aggregate request rate")
-	duration := flag.Float64("duration", 60, "fig10: trace duration in seconds")
+	rps := flag.Float64("rps", 150, "fig10/capacity: aggregate request rate")
+	duration := flag.Float64("duration", 60, "fig10/capacity: trace duration in seconds")
 	flag.Parse()
 
 	if *exp == "" {
@@ -108,6 +108,15 @@ func main() {
 				return err
 			}
 			r.Render(w)
+		case "capacity":
+			cfg := experiments.DefaultCapacityConfig()
+			cfg.RPS = *rps
+			cfg.Duration = des.Time(*duration * float64(des.Second))
+			r, err := experiments.Capacity(p, cfg)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
 		case "lanes":
 			r, err := experiments.LaneSweep(p, *lanesFn, nil)
 			if err != nil {
@@ -122,7 +131,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10"}
+		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity"}
 	}
 	for i, id := range ids {
 		if i > 0 {

@@ -1,24 +1,3 @@
-// Package cxlfork is a full-system reproduction of "CXLfork: Fast
-// Remote Fork over CXL Fabrics" (ASPLOS 2025) as a deterministic
-// simulation: a cluster of OS instances sharing a CXL memory device, a
-// remote-fork interface with three implementations (CXLfork, CRIU-CXL,
-// Mitosis-CXL), tiering policies, a serverless workload suite, and the
-// CXLporter autoscaler.
-//
-// This package is the public facade. Virtual time is exposed as
-// time.Duration (the simulation runs in virtual nanoseconds; nothing
-// here touches the wall clock). A typical session:
-//
-//	sys := cxlfork.NewSystem(cxlfork.DefaultConfig())
-//	fn, _ := sys.DeployFunction(0, "Bert")   // cold start on node 0
-//	fn.Warmup(16)                            // JIT steady state
-//	ck, _ := sys.Checkpoint(fn, cxlfork.CXLfork, "bert-v1")
-//	clone, _ := sys.Restore(1, ck, cxlfork.RestoreOptions{})
-//	lat, _ := clone.Invoke()                 // near-warm on node 1
-//
-// The internal packages (see DESIGN.md) expose the full substrate for
-// experiments; cmd/cxlsim regenerates every table and figure of the
-// paper.
 package cxlfork
 
 import (
@@ -87,8 +66,33 @@ type Config struct {
 	// tracer's default. Once full, further spans are counted as dropped
 	// and discarded.
 	TraceBufferCap int
+	// Capacity tunes the device-capacity manager (checkpoint eviction
+	// under memory pressure, DESIGN.md §10). Zero values keep defaults.
+	Capacity CapacityConfig
 	// Seed drives all randomized behaviour (deterministic by default).
 	Seed int64
+}
+
+// CapacityConfig tunes checkpoint eviction on the shared device. The
+// capacity manager runs inside CXLporter (the autoscaler): when device
+// occupancy crosses HighWatermark it evicts checkpoints by EvictPolicy
+// until occupancy drops to LowWatermark, deferring any image a live
+// clone or in-flight restore still references.
+type CapacityConfig struct {
+	// EvictPolicy picks eviction victims: "costbenefit" (lowest expected
+	// restore-latency-saved per resident byte first; default), "lru"
+	// (least recently restored first), or "largest" (largest reclaimable
+	// footprint first).
+	EvictPolicy string
+	// HighWatermark is the device occupancy fraction that triggers
+	// eviction (default 0.90).
+	HighWatermark float64
+	// LowWatermark is the occupancy fraction eviction drives the device
+	// back down to (default 0.75).
+	LowWatermark float64
+	// ReclaimPeriod is the background occupancy re-check interval on the
+	// virtual clock (default 1s).
+	ReclaimPeriod time.Duration
 }
 
 // DefaultConfig returns a two-node platform matching the paper's
@@ -134,6 +138,18 @@ func (c Config) params() params.Params {
 	}
 	if c.TraceBufferCap > 0 {
 		p.TraceBufferCap = c.TraceBufferCap
+	}
+	if c.Capacity.EvictPolicy != "" {
+		p.EvictPolicy = c.Capacity.EvictPolicy
+	}
+	if c.Capacity.HighWatermark > 0 {
+		p.CXLHighWatermark = c.Capacity.HighWatermark
+	}
+	if c.Capacity.LowWatermark > 0 {
+		p.CXLLowWatermark = c.Capacity.LowWatermark
+	}
+	if c.Capacity.ReclaimPeriod > 0 {
+		p.CXLReclaimPeriod = des.Time(c.Capacity.ReclaimPeriod)
 	}
 	return p
 }
@@ -628,6 +644,52 @@ func (s *System) DedupStats() DedupStats {
 		Hits:       c.Hits.Value(),
 		Misses:     c.Misses.Value(),
 		BytesSaved: c.BytesSaved.Value(),
+	}
+}
+
+// CapacityStats is a point-in-time breakdown of shared-device occupancy
+// by what eviction could actually get back. Because checkpoint frames
+// are dedup-shared across images, an image's declared footprint is not
+// what releasing it frees; this split is computed from frame refcounts.
+type CapacityStats struct {
+	// UsedBytes is total device occupancy (frames + metadata).
+	UsedBytes int64
+	// CapacityBytes is the device size (Config.CXLCapacity).
+	CapacityBytes int64
+	// Checkpoints is the number of live checkpoint arenas.
+	Checkpoints int
+	// MetaBytes is checkpointed OS-structure bytes (page-table leaves,
+	// VMA leaves, globals) — always exclusive to one image.
+	MetaBytes int64
+	// ExclusiveBytes is data-frame bytes referenced by exactly one
+	// image: the capacity evicting the owners would free.
+	ExclusiveBytes int64
+	// SharedBytes is data-frame bytes dedup-shared by several images,
+	// each distinct frame counted once; eviction of a single owner
+	// frees none of it.
+	SharedBytes int64
+}
+
+// Utilization returns UsedBytes / CapacityBytes.
+func (c CapacityStats) Utilization() float64 {
+	if c.CapacityBytes == 0 {
+		return 0
+	}
+	return float64(c.UsedBytes) / float64(c.CapacityBytes)
+}
+
+// CapacityStats returns the device's occupancy breakdown: how much of
+// the used capacity is exclusive to single checkpoints (reclaimable by
+// eviction) versus dedup-shared across them.
+func (s *System) CapacityStats() CapacityStats {
+	o := s.c.Dev.Occupancy()
+	return CapacityStats{
+		UsedBytes:      s.c.Dev.UsedBytes(),
+		CapacityBytes:  s.c.Dev.CapacityBytes(),
+		Checkpoints:    o.Arenas,
+		MetaBytes:      o.Meta,
+		ExclusiveBytes: o.ExclusiveFrames,
+		SharedBytes:    o.SharedFrames,
 	}
 }
 

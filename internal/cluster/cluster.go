@@ -1,8 +1,3 @@
-// Package cluster assembles the simulated platform: N nodes, each
-// running a standalone kernel instance with local DRAM, LLC and TLB,
-// all sharing one root filesystem and one CXL memory device over the
-// fabric — the paper's testbed topology (§6.1) generalized from two
-// nodes to N.
 package cluster
 
 import (

@@ -1,0 +1,10 @@
+// Package cluster assembles the simulated platform: N nodes, each
+// running a standalone kernel instance with local DRAM, LLC and TLB,
+// all sharing one root filesystem and one CXL memory device over the
+// fabric — the paper's testbed topology (§6.1) generalized from two
+// nodes to N.
+//
+// Entry points: New and MustNew build an N-node Cluster from
+// params.Params; the Cluster's shared engine, device, filesystem, fault
+// plan and tracer are what every other subsystem hangs off.
+package cluster

@@ -1,9 +1,3 @@
-// Package container models the Docker-level sandbox lifecycle CXLporter
-// manages (paper §5): container creation with its ≈130 ms
-// function-independent setup cost (network, namespaces, cgroups), and
-// ghost containers — pre-created, empty containers holding only 512 KB
-// that wait on a control socket for a "function restoration request" and
-// let a remote fork land directly inside an existing sandbox.
 package container
 
 import (

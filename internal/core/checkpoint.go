@@ -1,10 +1,3 @@
-// Package core implements CXLfork, the paper's primary contribution: a
-// remote fork that checkpoints process state into shared CXL memory
-// mostly as-is (zero serialization for private state), rebases the
-// checkpointed OS structures onto device offsets so any node can use
-// them, and restores clones in near constant time by attaching the
-// checkpointed page-table and VMA-tree leaves instead of reconstructing
-// them (paper §4).
 package core
 
 import (
@@ -73,6 +66,32 @@ func (c *Checkpoint) CXLBytes() int64 {
 // LocalBytes is zero: CXLfork holds no parent-node state, so the parent
 // may exit and its node is not a point of failure (§3.1).
 func (c *Checkpoint) LocalBytes() int64 { return 0 }
+
+// ReclaimableBytes returns the device occupancy delta releasing this
+// image right now would produce: arena metadata plus data frames no
+// other image shares (dedup-aware, unlike the declared CXLBytes
+// footprint). The capacity manager sizes eviction passes with this.
+func (c *Checkpoint) ReclaimableBytes() int64 { return c.arena.ExclusiveBytes() }
+
+// SharedBytes returns bytes of this image's data frames that are
+// dedup-shared with other live images.
+func (c *Checkpoint) SharedBytes() int64 { return c.arena.SharedBytes() }
+
+// FrameTokens returns the content tokens of the image's data frames, in
+// tracking order — a re-publish recipe: allocating these tokens through
+// the device's dedup index (Device.AllocToken) rebuilds an equivalent
+// frame set, re-sharing whatever content still lives on the device. The
+// capacity manager records this at publication so a function whose
+// checkpoint was evicted can be re-checkpointed without a live parent.
+func (c *Checkpoint) FrameTokens() []uint64 {
+	toks := make([]uint64, 0, c.dataPages)
+	c.arena.ForEachFrame(func(f *memsim.Frame) { toks = append(toks, f.Data) })
+	return toks
+}
+
+// MetaBytes returns the arena-metadata portion of the image's footprint
+// (checkpointed OS structures, as opposed to data frames).
+func (c *Checkpoint) MetaBytes() int64 { return c.arena.Bytes() }
 
 // Pages returns the number of checkpointed data pages.
 func (c *Checkpoint) Pages() int { return c.dataPages }

@@ -1,0 +1,11 @@
+// Package core implements CXLfork, the paper's primary contribution: a
+// remote fork that checkpoints process state into shared CXL memory
+// mostly as-is (zero serialization for private state), rebases the
+// checkpointed OS structures onto device offsets so any node can use
+// them, and restores clones in near constant time by attaching the
+// checkpointed page-table and VMA-tree leaves instead of reconstructing
+// them (paper §4).
+//
+// The entry point is New, which returns the rfork.Mechanism; Checkpoint
+// is the published image type.
+package core

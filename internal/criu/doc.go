@@ -1,0 +1,13 @@
+// Package criu implements the CRIU-CXL baseline (paper §2.3.1, §6.2):
+// the state-of-practice checkpoint/restore framework, given the benefit
+// of CXL by placing its image files on an in-CXL-memory filesystem
+// shared between nodes (so no network file copies). It still serializes
+// everything — OS state and every memory page — into protobuf-style
+// records, and its restore deserializes the full image and copies all
+// data into local memory. Clean pages of private file mappings are not
+// checkpointed (CRIU's behaviour, §7.1); the child faults them from the
+// page cache lazily.
+//
+// The entry point is New, which returns the rfork.Mechanism; its Image
+// lives as a cxlfs file.
+package criu

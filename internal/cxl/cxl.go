@@ -1,21 +1,3 @@
-// Package cxl models the shared CXL memory device and fabric.
-//
-// The device exposes two things to the rest of the system:
-//
-//   - a shared physical frame pool (memsim.Pool of kind CXL) holding
-//     checkpointed process data pages, and
-//   - per-checkpoint Arenas holding checkpointed OS structures (page
-//     table nodes, VMA records, serialized global state), addressed by
-//     machine-independent Offsets rather than pointers.
-//
-// The Offset indirection is the heart of CXLfork's "rebase" step
-// (paper §4.1): after copying OS structures into CXL memory, every
-// internal pointer is rewritten into an offset on the device, so that
-// any OS instance on the fabric can map the arena at a different
-// virtual/physical base and still dereference the structures. In this
-// simulation, the only way to follow a rebased reference is through
-// Arena.Get, which makes an un-rebased (dangling) pointer a loud test
-// failure instead of silent corruption.
 package cxl
 
 import (

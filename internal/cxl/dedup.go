@@ -54,7 +54,17 @@ type dedupEntry struct {
 // (miss). The boolean reports a hit. The caller owns one reference
 // either way and normally hands it to an Arena via TrackFrame.
 func (d *Device) DedupAlloc(src *memsim.Frame) (*memsim.Frame, bool, error) {
-	h := fnv1aToken(src.Data)
+	return d.AllocToken(src.Data)
+}
+
+// AllocToken is DedupAlloc addressed by content token instead of source
+// frame: it returns a device frame holding tok, deduped against the
+// index when an identical live frame exists. Checkpoint replays (the
+// capacity manager's re-publish path) use it to rebuild an evicted
+// image's frames from a recorded token list — re-deduping against any
+// surviving twins — without a live parent address space to copy from.
+func (d *Device) AllocToken(tok uint64) (*memsim.Frame, bool, error) {
+	h := fnv1aToken(tok)
 	entries := d.dedup[h]
 	live := entries[:0]
 	var hit *memsim.Frame
@@ -63,7 +73,7 @@ func (d *Device) DedupAlloc(src *memsim.Frame) (*memsim.Frame, bool, error) {
 			continue // stale: frame freed, reused, or rewritten
 		}
 		live = append(live, e)
-		if hit == nil && e.token == src.Data {
+		if hit == nil && e.token == tok {
 			hit = e.frame
 		}
 	}
@@ -80,7 +90,7 @@ func (d *Device) DedupAlloc(src *memsim.Frame) (*memsim.Frame, bool, error) {
 		}
 		return nil, false, err
 	}
-	memsim.Copy(f, src)
+	f.Data = tok
 	d.dedup[h] = append(live, dedupEntry{key: f.CacheKey(), token: f.Data, frame: f})
 	d.Dedup.Misses.Inc()
 	return f, false, nil

@@ -1,0 +1,139 @@
+package cxl
+
+import "testing"
+
+// TestOccupancyExclusiveShared builds two arenas that dedup-share one
+// frame and checks the exclusive/shared split and that Reclaimable
+// predicts the true release delta.
+func TestOccupancyExclusiveShared(t *testing.T) {
+	d := dev(t)
+	pageSize := int64(d.p.PageSize)
+
+	a, _ := d.NewArena("a")
+	b, _ := d.NewArena("b")
+	a.MustAlloc("meta-a", 100)
+	b.MustAlloc("meta-b", 50)
+
+	// Frame 1: exclusive to a. Frame 2: shared between a and b.
+	f1, _, err := d.AllocToken(0x1111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TrackFrame(f1)
+	f2, hit, err := d.AllocToken(0x2222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("fresh token hit the index")
+	}
+	a.TrackFrame(f2)
+	f2b, hit, err := d.AllocToken(0x2222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || f2b != f2 {
+		t.Fatal("identical token did not dedup")
+	}
+	b.TrackFrame(f2b)
+
+	ao := a.Occupancy()
+	if ao.Meta != 100 || ao.ExclusiveFrames != pageSize || ao.SharedFrames != pageSize {
+		t.Fatalf("arena a occupancy = %+v", ao)
+	}
+	if got := a.ExclusiveBytes(); got != 100+pageSize {
+		t.Fatalf("a.ExclusiveBytes = %d", got)
+	}
+	bo := b.Occupancy()
+	if bo.Meta != 50 || bo.ExclusiveFrames != 0 || bo.SharedFrames != pageSize {
+		t.Fatalf("arena b occupancy = %+v", bo)
+	}
+
+	do := d.Occupancy()
+	if do.Arenas != 2 || do.Meta != 150 {
+		t.Fatalf("device occupancy = %+v", do)
+	}
+	// The shared frame counts once device-wide.
+	if do.ExclusiveFrames != pageSize || do.SharedFrames != pageSize {
+		t.Fatalf("device frame split = %+v", do)
+	}
+	if do.Total() != d.UsedBytes() {
+		t.Fatalf("occupancy total %d != used %d", do.Total(), d.UsedBytes())
+	}
+
+	// Releasing a frees exactly its reclaimable estimate, and promotes
+	// the shared frame to exclusive in b.
+	predicted := a.ExclusiveBytes()
+	before := d.UsedBytes()
+	a.Release()
+	if delta := before - d.UsedBytes(); delta != predicted {
+		t.Fatalf("release freed %d, predicted %d", delta, predicted)
+	}
+	bo = b.Occupancy()
+	if bo.ExclusiveFrames != pageSize || bo.SharedFrames != 0 {
+		t.Fatalf("arena b after promotion = %+v", bo)
+	}
+
+	predicted = b.ExclusiveBytes()
+	before = d.UsedBytes()
+	b.Release()
+	if delta := before - d.UsedBytes(); delta != predicted {
+		t.Fatalf("final release freed %d, predicted %d", delta, predicted)
+	}
+	if d.UsedBytes() != 0 {
+		t.Fatalf("device not empty: %d", d.UsedBytes())
+	}
+}
+
+// TestOccupancyClosedArena checks released arenas report zero.
+func TestOccupancyClosedArena(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("a")
+	a.MustAlloc("m", 64)
+	a.Release()
+	if o := a.Occupancy(); o != (Occupancy{}) {
+		t.Fatalf("closed arena occupancy = %+v", o)
+	}
+}
+
+// TestAllocTokenRebuild replays a token list through the dedup index
+// after the original arena died — the capacity manager's re-publish
+// path — and checks surviving twins are reused.
+func TestAllocTokenRebuild(t *testing.T) {
+	d := dev(t)
+	a, _ := d.NewArena("orig")
+	tokens := []uint64{1, 2, 3, 4}
+	for _, tok := range tokens {
+		f, _, err := d.AllocToken(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.TrackFrame(f)
+	}
+	// A twin keeps tokens 1 and 2 alive after orig is evicted.
+	twin, _ := d.NewArena("twin")
+	for _, tok := range tokens[:2] {
+		f, hit, _ := d.AllocToken(tok)
+		if !hit {
+			t.Fatalf("token %d not deduped into twin", tok)
+		}
+		twin.TrackFrame(f)
+	}
+	a.Release()
+
+	hitsBefore := d.Dedup.Hits.Value()
+	replay, _ := d.NewArena("replay")
+	for _, tok := range tokens {
+		f, _, err := d.AllocToken(tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay.TrackFrame(f)
+	}
+	if hits := d.Dedup.Hits.Value() - hitsBefore; hits != 2 {
+		t.Fatalf("replay dedup hits = %d, want 2 (surviving twins)", hits)
+	}
+	if replay.FrameBytes() != int64(len(tokens))*int64(d.p.PageSize) {
+		t.Fatalf("replay frame bytes = %d", replay.FrameBytes())
+	}
+}

@@ -1,11 +1,3 @@
-// Package des implements a deterministic discrete-event simulation engine.
-//
-// Every latency in this repository is accounted in virtual nanoseconds on
-// an Engine. Simple sequential experiments advance the clock directly with
-// Engine.Advance; concurrent scenarios (the CXLporter autoscaler) schedule
-// events on the engine's heap and run them in timestamp order. Ties are
-// broken by insertion order, so a simulation with a fixed RNG seed is
-// fully reproducible.
 package des
 
 import (
@@ -192,6 +184,26 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// Every schedules fn to run every period nanoseconds of virtual time,
+// starting one period from now, until fn returns false. The background
+// maintenance loops (capacity reclaim, A-bit reset) use it so their
+// cadence lives on the same deterministic event heap as the work they
+// observe. The first tick returning false ends the series; no EventID
+// is exposed because the predicate is the cancellation.
+func (e *Engine) Every(period Time, fn func() bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: non-positive period %d", period))
+	}
+	var tick func()
+	tick = func() {
+		if !fn() {
+			return
+		}
+		e.After(period, tick)
+	}
+	e.After(period, tick)
 }
 
 // Resource is a FIFO server pool with a fixed number of slots: the model

@@ -1,0 +1,33 @@
+package des
+
+import "testing"
+
+func TestEveryTicksUntilFalse(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.Every(10, func() bool {
+		at = append(at, e.Now())
+		return len(at) < 3
+	})
+	e.Run()
+	if len(at) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(at))
+	}
+	for i, want := range []Time{10, 20, 30} {
+		if at[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, at[i], want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("stopped series left %d events pending", e.Pending())
+	}
+}
+
+func TestEveryRejectsNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive period accepted")
+		}
+	}()
+	NewEngine().Every(0, func() bool { return false })
+}

@@ -1,8 +1,3 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation (see DESIGN.md §3 for the index). Every driver
-// returns typed results and can render the same rows/series the paper
-// reports; cmd/cxlsim exposes them on the command line and bench_test.go
-// wraps them as benchmarks.
 package experiments
 
 import (

@@ -1,15 +1,3 @@
-// Package faas models the paper's serverless workload suite (Table 1):
-// the CPU and memory functions from FunctionBench plus three real-world
-// functions (HTML, BFS, Bert). Each function is a synthetic program with
-// the paper's measured footprint, an address-space layout of library
-// mappings and anonymous regions, and a page-classed access pattern
-// calibrated to Fig. 1's Init / Read-only / Read-write breakdown
-// (72.2% / 23% / 4.8% on average).
-//
-// Execution is mechanistic: an invocation issues page-granular loads and
-// stores through the kernel's Access path, so fault costs, cache
-// behaviour, and CXL latency all emerge from the memory system rather
-// than being per-function constants.
 package faas
 
 import (

@@ -1,16 +1,3 @@
-// Package faultinject provides deterministic, seeded fault injection
-// for the simulated fork fabric. A Plan is registered on the cluster
-// and consulted by the mechanisms and the autoscaler at named step
-// boundaries ("checkpoint/pt", "restore/attach", ...). Rules fire by
-// occurrence count on the DES virtual clock, never by wall-clock or
-// unseeded randomness, so every failure scenario replays identically
-// under the same seed.
-//
-// Four fault kinds are modeled, mirroring the failure modes that
-// dominate disaggregated-memory deployments: a node crash that tears an
-// in-flight checkpoint, a transient capacity exhaustion, a fabric
-// degradation window that multiplies every CXL latency, and silent
-// corruption of a checkpoint's serialized global state.
 package faultinject
 
 import (

@@ -1,0 +1,10 @@
+// Package fsim models the filesystem layer: a root filesystem that is
+// identical on every node (the container-image assumption CXLfork, CRIU
+// and Mitosis all make, paper §4.1), per-node page caches serving file
+// faults, and cxlfs — an in-CXL-memory filesystem shared between nodes,
+// which the CRIU-CXL baseline uses to exchange checkpoint image files
+// (§6.2).
+//
+// Entry points: NewFS for the shared root filesystem, NewPageCache per
+// node, NewCXLFS for the CRIU-CXL image exchange.
+package fsim

@@ -1,9 +1,3 @@
-// Package fsim models the filesystem layer: a root filesystem that is
-// identical on every node (the container-image assumption CXLfork, CRIU
-// and Mitosis all make, paper §4.1), per-node page caches serving file
-// faults, and cxlfs — an in-CXL-memory filesystem shared between nodes,
-// which the CRIU-CXL baseline uses to exchange checkpoint image files
-// (§6.2).
 package fsim
 
 import (

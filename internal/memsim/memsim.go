@@ -1,9 +1,3 @@
-// Package memsim models physical memory: fixed-size page frames grouped
-// into pools (one local DRAM pool per node, one shared pool on the CXL
-// device). Frames carry a content token instead of real bytes, so a
-// 630 MB process footprint costs the simulation a few MB while copies,
-// sharing, and corruption remain observable: two frames hold identical
-// page contents iff their tokens are equal.
 package memsim
 
 import (

@@ -1,0 +1,9 @@
+// Package metrics provides the latency and utilization accounting used
+// by the experiment drivers: exact percentile estimation over recorded
+// samples and simple time-weighted gauges.
+//
+// Entry points: NewLatencyRecorder and NewPhaseStats; Counter, Gauge
+// and the *Counters bundles (faults, dedup, capacity) are plain
+// accumulators threaded through the subsystems. The percentile
+// reporting backs the paper's P50/P99 evaluation metrics (§6-§7).
+package metrics

@@ -1,6 +1,3 @@
-// Package metrics provides the latency and utilization accounting used
-// by the experiment drivers: exact percentile estimation over recorded
-// samples and simple time-weighted gauges.
 package metrics
 
 import (
@@ -223,6 +220,34 @@ func (d *DedupCounters) HitRate() float64 {
 		return 0
 	}
 	return float64(d.Hits.Value()) / float64(total)
+}
+
+// CapacityCounters aggregates the CXL capacity manager's accounting:
+// watermark-driven checkpoint eviction, the admission ladder's refusals,
+// and snapshot-based re-publishes of evicted checkpoints. EvictedBytes
+// counts the actual device occupancy deltas (dedup-aware), not declared
+// image footprints.
+type CapacityCounters struct {
+	// ReclaimPasses counts watermark-triggered eviction passes.
+	ReclaimPasses Counter
+	// Evictions counts checkpoints dropped from the object store by the
+	// eviction engine.
+	Evictions Counter
+	// EvictedBytes counts device bytes those evictions actually freed
+	// (occupancy delta; shared dedup frames and images pinned by live
+	// clones contribute only what really came back).
+	EvictedBytes Counter
+	// DeferredBytes counts declared footprint of evicted images whose
+	// release was deferred because live clones or in-flight restores
+	// still hold references; the device frees it when they exit.
+	DeferredBytes Counter
+	// AdmitRefused counts checkpoint publications refused because the
+	// device could not be brought under its high watermark — the middle
+	// rung of the degradation ladder (evict → refuse → cold start).
+	AdmitRefused Counter
+	// Recheckpoints counts evicted checkpoints re-published from their
+	// recorded frame-token snapshots.
+	Recheckpoints Counter
 }
 
 // Ratio formats a/b as a multiplier string ("2.26x").

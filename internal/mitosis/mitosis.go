@@ -1,11 +1,3 @@
-// Package mitosis implements the Mitosis-CXL baseline (paper §2.3.2,
-// §6.2): the state-of-the-art RDMA remote fork ported to CXL. The
-// checkpoint is a shadow, immutable copy of the parent's pages in the
-// parent node's local memory plus serialized OS state. Restore transfers
-// and deserializes the OS state (including the parent's page tables),
-// then lazily copies each accessed page from the shadow copy over the
-// CXL fabric — each "remote" fault pays a store to and a fetch from CXL
-// memory, standing in for the one-sided RDMA reads of the original.
 package mitosis
 
 import (

@@ -1,12 +1,3 @@
-// Package params centralizes every calibration constant of the simulated
-// platform. Each value is annotated with its provenance: either a number
-// the paper reports directly (§4.2.1 microbenchmarks, §6 methodology) or
-// a value chosen during calibration so that the mechanistic model
-// reproduces the paper's reported shapes (see EXPERIMENTS.md).
-//
-// Params is passed explicitly to every subsystem; there is no global
-// configuration. Experiments that sweep a dimension (Fig. 9 sweeps CXL
-// latency) copy the struct and override one field.
 package params
 
 import "cxlfork/internal/des"
@@ -205,6 +196,24 @@ type Params struct {
 	// ABitResetPeriod is how often CXLporter clears checkpointed A bits
 	// to re-estimate hot pages.
 	ABitResetPeriod des.Time
+
+	// ---- CXL capacity management (§5, §8 discussion) ----
+
+	// EvictPolicy selects the checkpoint eviction policy the capacity
+	// manager runs when the shared device crosses its high watermark:
+	// "lru" (least recently restored first), "largest" (largest
+	// reclaimable footprint first), or "costbenefit" (lowest expected
+	// restore-latency-saved per resident byte first, the default).
+	EvictPolicy string
+	// CXLHighWatermark is the device occupancy fraction above which the
+	// capacity manager starts evicting checkpoints.
+	CXLHighWatermark float64
+	// CXLLowWatermark is the occupancy fraction eviction drives the
+	// device back down to once triggered.
+	CXLLowWatermark float64
+	// CXLReclaimPeriod is how often the background reclaim pass re-checks
+	// device occupancy on the virtual clock while a trace replays.
+	CXLReclaimPeriod des.Time
 }
 
 // Default returns the calibrated parameter set matching the paper's
@@ -272,6 +281,11 @@ func Default() Params {
 		CheckpointAfter:       16,
 		HighMemFraction:       0.90,
 		ABitResetPeriod:       30 * des.Second,
+
+		EvictPolicy:      "costbenefit",
+		CXLHighWatermark: 0.90,
+		CXLLowWatermark:  0.75,
+		CXLReclaimPeriod: 1 * des.Second,
 	}
 }
 

@@ -1,0 +1,442 @@
+package porter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/des"
+	"cxlfork/internal/kernel"
+	"cxlfork/internal/memsim"
+	"cxlfork/internal/rfork"
+	"cxlfork/internal/trace"
+)
+
+// CXL device-capacity management (§5, §8 discussion).
+//
+// The shared CXL device holds every function's checkpoint; it is a
+// finite, fabric-global resource the porter must manage like node DRAM.
+// The capacity manager watches device occupancy against a high/low
+// watermark pair: crossing the high watermark (on arrival, on a
+// periodic background tick, or when a publication asks for admission)
+// triggers an eviction pass that drops checkpoints — ranked by the
+// configured policy — until occupancy is back under the low watermark.
+//
+// Accounting is dedup-aware throughout: an eviction is credited only
+// with the device occupancy delta it actually produced (exclusive
+// frames plus arena metadata), never with the image's declared
+// footprint, because dedup-shared frames survive with their remaining
+// owners and an image pinned by live clones or in-flight restores frees
+// nothing until the last reference drops.
+//
+// Under sustained pressure the porter degrades along a ladder, never
+// failing a live clone: (1) evict per policy; (2) refuse new
+// checkpoint publications that cannot be admitted under the high
+// watermark (AdmitRefused); (3) functions without a stored checkpoint
+// fall back to scratch cold starts, reusing the fault-tolerance
+// degradation path. Evicted CXLfork checkpoints are re-published from
+// recorded frame-token snapshots once the function has paid
+// CheckpointAfter cold starts and admission allows it.
+
+// EvictPolicy selects how the capacity manager ranks eviction victims.
+type EvictPolicy int
+
+// Eviction policies, selected by params.EvictPolicy.
+const (
+	// EvictCostBenefit evicts the checkpoint with the least expected
+	// restore latency saved per resident byte: cold-start penalty times
+	// observed restore frequency, divided by reclaimable bytes.
+	EvictCostBenefit EvictPolicy = iota
+	// EvictLRU evicts the checkpoint least recently restored (virtual
+	// time of last restore; never-restored checkpoints go first).
+	EvictLRU
+	// EvictLargest evicts the checkpoint with the most reclaimable
+	// bytes first (the pre-capacity-manager behaviour, kept as a
+	// baseline policy).
+	EvictLargest
+)
+
+var evictPolicyNames = [...]string{"costbenefit", "lru", "largest"}
+
+func (p EvictPolicy) String() string { return evictPolicyNames[p] }
+
+// ParseEvictPolicy maps a params.EvictPolicy string to a policy. The
+// empty string selects the cost-benefit default.
+func ParseEvictPolicy(s string) (EvictPolicy, error) {
+	switch s {
+	case "", "costbenefit":
+		return EvictCostBenefit, nil
+	case "lru":
+		return EvictLRU, nil
+	case "largest":
+		return EvictLargest, nil
+	}
+	return 0, fmt.Errorf("porter: unknown eviction policy %q", s)
+}
+
+// evictScore ranks an eviction candidate: the entry with the lowest
+// score is evicted first. All inputs are deterministic simulation
+// state; ties fall to the store's sorted <user, function> order.
+func (p *Porter) evictScore(e Entry) float64 {
+	switch p.policy {
+	case EvictLRU:
+		return float64(e.LastRestore)
+	case EvictLargest:
+		return -float64(reclaimEstimate(e.Image))
+	default: // EvictCostBenefit
+		var base float64
+		if st, ok := p.fns[e.Function]; ok {
+			base = st.scoreBase
+		}
+		return base + p.costBenefit(e.Function, e.Restores, reclaimEstimate(e.Image))
+	}
+}
+
+// costBenefit is the cost-benefit valuation shared by evictScore and
+// admitScore: expected restore latency saved per resident byte, scaled
+// by observed popularity. Callers add a GDSF aging base (the entry's
+// scoreBase, or the current aging clock for a newcomer) so that scores
+// are comparable across time. fallbackRestores is used only for
+// entries of functions the porter no longer tracks.
+func (p *Porter) costBenefit(fn string, fallbackRestores int64, bytes int64) float64 {
+	pol := rfork.MigrateOnWrite
+	restores := fallbackRestores
+	if st, ok := p.fns[fn]; ok {
+		pol = st.policy
+		// Popularity is whole-run request demand, not the store entry's
+		// restore counter: that counter resets on re-publication, and
+		// restores only accrue while resident — an evicted checkpoint
+		// could never score its way back in.
+		restores = st.demand
+	}
+	prof := p.profile(fn, pol)
+	saved := (prof.ColdInit + prof.ColdInitExec) - (prof.Restore + prof.ColdExec)
+	if saved < 0 {
+		saved = 0
+	}
+	if bytes < 1 {
+		// A pinned image frees nothing now: treat it as maximally
+		// expensive to lose so it is evicted last.
+		bytes = 1
+	}
+	return float64(saved) * float64(restores+1) / float64(bytes)
+}
+
+// admitScore is the policy's valuation of a checkpoint about to be
+// (re-)published — evictScore's counterpart for an image not in the
+// store yet, scored on its declared need. Admission uses it as the
+// eviction floor: making room must not cost checkpoints the policy
+// values more than the newcomer.
+func (p *Porter) admitScore(fn string, need int64) float64 {
+	switch p.policy {
+	case EvictLRU:
+		// A fresh publication is by definition the most recently used.
+		return float64(p.c.Eng.Now())
+	case EvictLargest:
+		return -float64(need)
+	default: // EvictCostBenefit
+		// A newcomer scores from the current aging clock: a function
+		// asking for room now is at least as recent as anything evicted
+		// so far, so a currently-bursting function can win admission
+		// even when its long-run value is modest.
+		return p.agingL + p.costBenefit(fn, 0, need)
+	}
+}
+
+// maybeReclaim runs an eviction pass when device occupancy is at or
+// above the high watermark, driving it toward the low watermark. It is
+// called on every arrival and from the background reclaim tick.
+func (p *Porter) maybeReclaim() {
+	dev := p.c.Dev
+	if dev.Utilization() < p.c.P.CXLHighWatermark {
+		return
+	}
+	p.reclaim(dev.UsedBytes() - int64(float64(dev.CapacityBytes())*p.c.P.CXLLowWatermark))
+}
+
+// reclaim evicts checkpoints in policy order until the device has freed
+// target bytes or the store is empty, returning the bytes actually
+// freed (the device occupancy delta — dedup-shared frames and pinned
+// images contribute only what really came back). Eviction drops only
+// the store's reference: an image held by live clones or in-flight
+// restores stays resident (its declared bytes are counted as deferred)
+// and is freed by the last release.
+func (p *Porter) reclaim(target int64) int64 {
+	return p.reclaimBelow(target, math.Inf(1))
+}
+
+// reclaimBelow is reclaim with a score floor: the pass never evicts a
+// victim the policy scores at or above floor. Watermark passes use an
+// infinite floor (occupancy must come down); admission passes use the
+// incoming checkpoint's own score, so making room for a low-value
+// publication can never displace a higher-value resident — the
+// admission is refused instead.
+func (p *Porter) reclaimBelow(target int64, floor float64) int64 {
+	dev := p.c.Dev
+	now := p.c.Eng.Now()
+	start := dev.UsedBytes()
+	p.capc.ReclaimPasses.Inc()
+	for start-dev.UsedBytes() < target && p.store.Len() > 0 {
+		var victim Entry
+		best := false
+		var bestScore float64
+		for _, e := range p.store.Entries() {
+			s := p.evictScore(e)
+			if !best || s < bestScore {
+				victim, bestScore, best = e, s, true
+			}
+		}
+		if bestScore >= floor {
+			break
+		}
+		// GDSF aging: the clock follows the best score ever evicted, so
+		// entries touched afterwards outrank entries idle since before.
+		if p.policy == EvictCostBenefit && bestScore > p.agingL {
+			p.agingL = bestScore
+		}
+		refsBefore := victim.Image.Refs()
+		declared := victim.Image.CXLBytes()
+		pages := victim.Image.Pages()
+		before := dev.UsedBytes()
+		p.store.Reclaim(victim.User, victim.Function)
+		delta := before - dev.UsedBytes()
+		p.capc.Evictions.Inc()
+		p.capc.EvictedBytes.Add(delta)
+		if refsBefore > 1 {
+			p.capc.DeferredBytes.Add(declared)
+		}
+		p.res.CkptReclaims += int(delta / int64(p.c.P.PageSize))
+		p.c.Trace.EmitFlow(0, trace.CatCapacity, "evict:"+victim.Function, now, 0, delta, pages)
+	}
+	freed := start - dev.UsedBytes()
+	p.c.Trace.EmitFlow(0, trace.CatCapacity, "reclaim", now, 0, freed, 0)
+	return freed
+}
+
+// reclaimToLow forces an eviction pass down to the low watermark even
+// when occupancy is below the high one — the retry path when a
+// checkpoint publication hit a full device (frame-pool exhaustion can
+// precede the watermark on metadata-heavy devices).
+func (p *Porter) reclaimToLow() int64 {
+	dev := p.c.Dev
+	target := dev.UsedBytes() - int64(float64(dev.CapacityBytes())*p.c.P.CXLLowWatermark)
+	if target < 1 {
+		target = 1
+	}
+	return p.reclaim(target)
+}
+
+// admitCheckpoint decides whether fn's publication of roughly need
+// bytes may proceed: it must fit under the high watermark, after an
+// eviction pass if necessary. The pass evicts just enough to fit —
+// watermark hysteresis belongs to the background tick — and is floored
+// at the newcomer's own score, so admission never evicts checkpoints
+// the policy values more than the one asking for room. A refusal is
+// the degradation ladder's middle rung (counted in AdmitRefused); the
+// function keeps running on scratch cold starts and asks again later.
+func (p *Porter) admitCheckpoint(fn string, need int64) bool {
+	dev := p.c.Dev
+	high := int64(float64(dev.CapacityBytes()) * p.c.P.CXLHighWatermark)
+	if dev.UsedBytes()+need <= high {
+		return true
+	}
+	p.reclaimBelow(dev.UsedBytes()+need-high, p.admitScore(fn, need))
+	if dev.UsedBytes()+need <= high {
+		return true
+	}
+	p.capc.AdmitRefused.Inc()
+	return false
+}
+
+// setupReclaimRetries bounds how many evict-and-retry rounds a Setup
+// checkpoint attempts on a full device before degrading to scratch
+// cold starts.
+const setupReclaimRetries = 2
+
+// deviceFull reports whether err is a device-capacity failure (metadata
+// charge rejection or frame-pool exhaustion).
+func deviceFull(err error) bool {
+	return errors.Is(err, cxl.ErrDeviceFull) || errors.Is(err, memsim.ErrOutOfMemory)
+}
+
+// checkpointWithReclaim is Mechanism.Checkpoint with the capacity
+// manager in the loop: a device-full failure triggers a policy-ordered
+// eviction pass and a retry, up to setupReclaimRetries times or until
+// a pass frees nothing.
+func (p *Porter) checkpointWithReclaim(task *kernel.Task, id string) (rfork.Image, error) {
+	img, err := p.cfg.Mechanism.Checkpoint(task, id)
+	for i := 0; i < setupReclaimRetries && deviceFull(err); i++ {
+		if p.reclaimToLow() == 0 {
+			break
+		}
+		img, err = p.cfg.Mechanism.Checkpoint(task, id)
+	}
+	return img, err
+}
+
+// ckptSnapshot is the capacity manager's record of a published CXLfork
+// checkpoint: the content tokens of its device frames (in arena order)
+// and its metadata footprint. It is what survives an eviction, letting
+// the checkpoint be re-published through the dedup index later without
+// a live parent address space.
+type ckptSnapshot struct {
+	tokens    []uint64
+	metaBytes int64
+	gen       int // re-publish generation, for unique arena names
+}
+
+// frameTokener is implemented by images that can be snapshotted for
+// re-publication (core.Checkpoint). Mechanisms that cannot (CRIU-CXL's
+// file images, Mitosis' parent-resident trees) simply degrade to
+// scratch cold starts for good once evicted.
+type frameTokener interface {
+	FrameTokens() []uint64
+	MetaBytes() int64
+}
+
+// snapshot records img's frame tokens for later re-publication, when
+// the image supports it.
+func (p *Porter) snapshot(fn string, img rfork.Image) {
+	if tk, ok := img.(frameTokener); ok {
+		p.snaps[fn] = &ckptSnapshot{tokens: tk.FrameTokens(), metaBytes: tk.MetaBytes()}
+	}
+}
+
+// maybeRecheckpoint is called on every request completion: once a
+// function whose checkpoint was evicted has completed CheckpointAfter
+// further invocations (§5 checkpoints after the 16th invocation) and
+// admission allows it, the checkpoint is rebuilt from its snapshot on
+// the completing instance's node. The rebuild cost occupies one of
+// that node's cores off the request critical path.
+func (p *Porter) maybeRecheckpoint(inst *instance) {
+	st := p.fns[inst.fn]
+	snap := p.snaps[inst.fn]
+	if snap == nil || st.reckpting {
+		return
+	}
+	if _, ok := p.store.Get(p.cfg.User, inst.fn); ok {
+		st.coldRuns = 0
+		return
+	}
+	st.coldRuns++
+	if st.coldRuns < p.c.P.CheckpointAfter {
+		return
+	}
+	st.coldRuns = 0
+	need := int64(len(snap.tokens))*int64(p.c.P.PageSize) + snap.metaBytes
+	if !p.admitCheckpoint(inst.fn, need) {
+		return
+	}
+	st.reckpting = true
+	node := inst.node
+	cost := p.c.P.StructCopy + des.Time(len(snap.tokens))*p.c.P.CXLWritePage
+	node.cpu.Exec(cost, func(end des.Time) {
+		st.reckpting = false
+		if p.c.Faults.NodeDown(node.os.Index) {
+			return
+		}
+		p.republish(inst.fn, node, end-cost, cost)
+	})
+}
+
+// republish rebuilds fn's evicted checkpoint from its snapshot:
+// every recorded token is allocated through the dedup index (re-deduping
+// against surviving twins), tracked in a fresh arena with the original
+// metadata charge, sealed, and registered in the store. A device that
+// fills mid-rebuild rolls the staged arena back and counts a refusal.
+func (p *Porter) republish(fn string, node *nodeState, begin, dur des.Time) {
+	snap := p.snaps[fn]
+	dev := p.c.Dev
+	snap.gen++
+	id := fmt.Sprintf("cid-%s-%s#r%d", p.cfg.User, fn, snap.gen)
+	arena, err := dev.NewArena(id)
+	if err != nil {
+		p.capc.AdmitRefused.Inc()
+		return
+	}
+	for _, tok := range snap.tokens {
+		f, _, err := dev.AllocToken(tok)
+		if err != nil {
+			arena.Release()
+			p.capc.AdmitRefused.Inc()
+			return
+		}
+		arena.TrackFrame(f)
+	}
+	if _, err := arena.Alloc("replay-meta", snap.metaBytes); err != nil {
+		arena.Release()
+		p.capc.AdmitRefused.Inc()
+		return
+	}
+	if err := arena.Seal(); err != nil {
+		arena.Release()
+		p.capc.AdmitRefused.Inc()
+		return
+	}
+	img := &replayImage{
+		id:    id,
+		mech:  p.cfg.Mechanism.Name(),
+		arena: arena,
+		pages: len(snap.tokens),
+		refs:  rfork.NewRefCount(),
+	}
+	p.store.Put(p.cfg.User, fn, img)
+	if st := p.fns[fn]; st != nil {
+		st.scoreBase = p.agingL
+	}
+	p.capc.Recheckpoints.Inc()
+	p.c.Trace.EmitFlow(node.os.Index, trace.CatCapacity, "recheckpoint", begin, dur, img.CXLBytes(), img.pages)
+}
+
+// replayImage is a checkpoint re-published from a ckptSnapshot. It is
+// restore-equivalent to the original (the queue model restores from
+// profiles, and the frames carry the same content tokens) and carries
+// the same dedup-aware accounting, but drops the page-table tree —
+// §5's porter re-checkpoints from a warmed instance, and the snapshot
+// keeps only what capacity accounting and future restores need.
+type replayImage struct {
+	id    string
+	mech  string
+	arena *cxl.Arena
+	pages int
+	refs  rfork.RefCount
+}
+
+var _ rfork.Image = (*replayImage)(nil)
+
+// ID returns the re-published checkpoint's CID.
+func (r *replayImage) ID() string { return r.id }
+
+// Mechanism names the mechanism whose checkpoint was re-published.
+func (r *replayImage) Mechanism() string { return r.mech }
+
+// CXLBytes is the image's declared device footprint (data pages plus
+// arena metadata), ignoring dedup sharing.
+func (r *replayImage) CXLBytes() int64 {
+	return r.arena.FrameBytes() + r.arena.Bytes()
+}
+
+// LocalBytes is zero: replay images pin no parent-node memory.
+func (r *replayImage) LocalBytes() int64 { return 0 }
+
+// Pages is the number of checkpointed data pages.
+func (r *replayImage) Pages() int { return r.pages }
+
+// Retain adds a reference.
+func (r *replayImage) Retain() { r.refs.Retain() }
+
+// Release drops a reference, releasing the arena at zero.
+func (r *replayImage) Release() {
+	if !r.refs.Release() {
+		return
+	}
+	r.arena.Release()
+}
+
+// Refs returns the current reference count.
+func (r *replayImage) Refs() int { return r.refs.Count() }
+
+// ReclaimableBytes is the device occupancy delta releasing the image
+// would produce: arena metadata plus frames no other arena shares.
+func (r *replayImage) ReclaimableBytes() int64 { return r.arena.ExclusiveBytes() }

@@ -1,15 +1,3 @@
-// Package porter implements CXLporter, the horizontal FaaS autoscaler
-// built on remote fork (paper §5). It maintains a CID object store of
-// checkpoints, a pool of ghost containers per function, dynamically
-// selects CXLfork tiering policies from observed latency and memory
-// pressure, and shortens keep-alive windows under pressure.
-//
-// Scaling experiments (Fig. 10) replay bursty arrival traces over the
-// discrete-event engine. Per-request work uses profiles measured
-// mechanistically in isolation (restore latency, cold and warm execution
-// time, steady-state local footprint, per mechanism and tiering policy);
-// the event-driven replay then captures queueing, cold-start storms, and
-// memory-pressure effects that the profiles alone cannot.
 package porter
 
 import (
@@ -154,11 +142,33 @@ type fnState struct {
 	slo     des.Time
 	lateEWM float64 // EWMA of latency/SLO ratio
 	queue   []*pending
+	// coldRuns counts completions since the function's checkpoint was
+	// evicted; at CheckpointAfter the capacity manager re-publishes.
+	coldRuns int
+	// demand counts request arrivals over the whole run, resident or
+	// not. Cost-benefit scoring uses it as popularity instead of the
+	// store entry's restore counter for two reasons: the entry counter
+	// resets on re-publication (a rebuilt hot checkpoint must not look
+	// cold), and restores only accrue while resident — an evicted
+	// checkpoint could never earn its way back in while every resident
+	// kept climbing (once out, never back in).
+	demand int64
+	// scoreBase is the GDSF aging term: the capacity manager's aging
+	// clock sampled when the function's checkpoint was last published
+	// or restored. Added to the cost-benefit score, it lets stale
+	// high-value images age out and currently-bursting functions win
+	// admission (pure value scoring would refuse them forever).
+	scoreBase float64
+	// reckpting marks a snapshot re-publish in flight on some core.
+	reckpting bool
 }
 
 type pending struct {
 	fn      string
 	arrived des.Time
+	// cold marks a request served by a fresh spawn (fork restore or
+	// scratch cold start) rather than a warm instance.
+	cold bool
 }
 
 // Results summarizes a trace replay.
@@ -200,6 +210,28 @@ type Results struct {
 	DedupMisses int64
 	// DedupBytesSaved counts fabric write bytes elided by dedup hits.
 	DedupBytesSaved int64
+	// ColdLatency records the end-to-end latency of requests that were
+	// served by a fresh spawn (fork restore or scratch cold start) — the
+	// cold-start tail the capacity experiment compares eviction policies
+	// on.
+	ColdLatency *metrics.LatencyRecorder
+	// ReclaimPasses counts watermark-triggered eviction passes.
+	ReclaimPasses int64
+	// EvictedCkpts counts checkpoints dropped by the eviction engine.
+	EvictedCkpts int64
+	// EvictedBytes counts device bytes eviction actually freed (true
+	// occupancy deltas; dedup-shared frames and clone-pinned images
+	// contribute only what really came back).
+	EvictedBytes int64
+	// DeferredBytes counts declared footprint of evicted images whose
+	// release waits on live clones or in-flight restores.
+	DeferredBytes int64
+	// CkptRefused counts checkpoint publications the admission ladder
+	// refused because the device could not get under its high watermark.
+	CkptRefused int64
+	// Recheckpoints counts evicted checkpoints re-published from their
+	// frame-token snapshots.
+	Recheckpoints int64
 }
 
 // Throughput returns requests completed within the arrival window per
@@ -228,6 +260,19 @@ type Porter struct {
 	// parentUplink serializes Mitosis' remote-fault copies out of the
 	// parent node (all parents live on node 0 after Setup).
 	parentUplink *des.Resource
+
+	// policy is the capacity manager's eviction policy (params.EvictPolicy).
+	policy EvictPolicy
+	// agingL is the cost-benefit policy's GDSF aging clock: the score
+	// of the most valuable checkpoint evicted so far. Entries touched
+	// after an eviction start from it, so scores are comparable across
+	// time and recency breaks value ties.
+	agingL float64
+	// capc is the capacity manager's accounting, covering Setup and Run.
+	capc metrics.CapacityCounters
+	// snaps holds per-function frame-token snapshots of published
+	// checkpoints, for re-publication after eviction.
+	snaps map[string]*ckptSnapshot
 }
 
 // New creates a porter over a cluster.
@@ -241,12 +286,18 @@ func New(c *cluster.Cluster, cfg Config) *Porter {
 	if cfg.User == "" {
 		cfg.User = "tenant0"
 	}
+	pol, err := ParseEvictPolicy(c.P.EvictPolicy)
+	if err != nil {
+		panic(err)
+	}
 	p := &Porter{
-		c:     c,
-		cfg:   cfg,
-		store: NewObjectStore(),
-		fns:   make(map[string]*fnState),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		c:      c,
+		cfg:    cfg,
+		store:  NewObjectStore(),
+		fns:    make(map[string]*fnState),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		policy: pol,
+		snaps:  make(map[string]*ckptSnapshot),
 	}
 	p.parentUplink = des.NewResource(c.Eng, parentUplinkStreams)
 	budget := c.P.NodeDRAMBytes
@@ -344,10 +395,14 @@ func (p *Porter) provision(s faas.Spec) error {
 		if err := in.Warmup(cp.CheckpointAfter-1, p.rng); err != nil {
 			return err
 		}
-		img, err := p.cfg.Mechanism.Checkpoint(in.Task, fmt.Sprintf("cid-%s-%s", p.cfg.User, s.Name))
+		img, err := p.checkpointWithReclaim(in.Task, fmt.Sprintf("cid-%s-%s", p.cfg.User, s.Name))
 		switch {
 		case err == nil:
+			p.snapshot(s.Name, img)
 			p.store.Put(p.cfg.User, s.Name, img)
+			if st := p.fns[s.Name]; st != nil {
+				st.scoreBase = p.agingL
+			}
 			in.Exit()
 			// Mitosis pins its shadow copy in the parent node's memory
 			// for the lifetime of the image.
@@ -363,10 +418,11 @@ func (p *Porter) provision(s faas.Spec) error {
 			p.c.Eng.Advance(retryBackoff << uint(attempt))
 			continue
 		case errors.Is(err, cxl.ErrDeviceFull), errors.Is(err, memsim.ErrOutOfMemory):
-			// No room for a checkpoint (a full device surfaces as either a
-			// metadata charge rejection or frame-pool exhaustion): the
-			// function degrades to scratch cold starts — the checkpoint
-			// rollback left occupancy as it was. Setup itself succeeds.
+			// Still no room after the capacity manager's evict-and-retry
+			// rounds (checkpointWithReclaim): the function degrades to
+			// scratch cold starts — the checkpoint rollback left occupancy
+			// as it was. Setup itself succeeds (the degradation ladder's
+			// last rung; a later re-checkpoint may still publish it).
 			in.Exit()
 			p.c.Faults.Counters.Fallbacks.Inc()
 		default:

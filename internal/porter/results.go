@@ -69,7 +69,14 @@ func (r Results) Fingerprint() uint64 {
 	h.word(uint64(r.DedupHits))
 	h.word(uint64(r.DedupMisses))
 	h.word(uint64(r.DedupBytesSaved))
+	h.word(uint64(r.ReclaimPasses))
+	h.word(uint64(r.EvictedCkpts))
+	h.word(uint64(r.EvictedBytes))
+	h.word(uint64(r.DeferredBytes))
+	h.word(uint64(r.CkptRefused))
+	h.word(uint64(r.Recheckpoints))
 	h.recorder(r.Overall)
+	h.recorder(r.ColdLatency)
 
 	fns := make([]string, 0, len(r.PerFunction))
 	for fn := range r.PerFunction {

@@ -22,6 +22,7 @@ func (p *Porter) Run(trace []azure.Request) Results {
 		Overall:     metrics.NewLatencyRecorder(),
 		PerFunction: make(map[string]*metrics.LatencyRecorder),
 		MemGauge:    make(map[string]*metrics.Gauge),
+		ColdLatency: metrics.NewLatencyRecorder(),
 	}
 	for fn := range p.fns {
 		p.res.PerFunction[fn] = metrics.NewLatencyRecorder()
@@ -65,6 +66,20 @@ func (p *Porter) Run(trace []azure.Request) Results {
 		eng.After(p.c.P.ABitResetPeriod, resetTick)
 	}
 
+	// Background capacity reclaim: re-check the device watermarks every
+	// CXLReclaimPeriod for the duration of the arrival window, so
+	// occupancy growth between arrivals (re-checkpoints, dedup decay)
+	// is bounded even during arrival lulls.
+	if period := p.c.P.CXLReclaimPeriod; period > 0 {
+		eng.Every(period, func() bool {
+			if eng.Now() >= base+last {
+				return false
+			}
+			p.maybeReclaim()
+			return true
+		})
+	}
+
 	p.observeMem()
 	eng.Run()
 	p.res.Duration = p.lastDone - base
@@ -84,32 +99,25 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	p.res.DedupHits = dc.Hits.Value()
 	p.res.DedupMisses = dc.Misses.Value()
 	p.res.DedupBytesSaved = dc.BytesSaved.Value()
+
+	// Capacity accounting: mirror the eviction engine's counters (which
+	// cover Setup admission as well as the trace) into the results.
+	cc := &p.capc
+	p.res.ReclaimPasses = cc.ReclaimPasses.Value()
+	p.res.EvictedCkpts = cc.Evictions.Value()
+	p.res.EvictedBytes = cc.EvictedBytes.Value()
+	p.res.DeferredBytes = cc.DeferredBytes.Value()
+	p.res.CkptRefused = cc.AdmitRefused.Value()
+	p.res.Recheckpoints = cc.Recheckpoints.Value()
 	return p.res
 }
 
-// reclaimCXLPressure drops checkpoints, largest first, when the CXL
-// device runs hot (§5: the porter "is responsible for reclaiming
-// checkpoints under CXL memory pressure"). Functions whose checkpoint
-// is reclaimed fall back to scratch cold starts until re-checkpointed.
-func (p *Porter) reclaimCXLPressure() {
-	dev := p.c.Dev
-	if dev.Utilization() < cxlHighWatermark {
-		return
-	}
-	target := dev.UsedBytes() - int64(float64(dev.CapacityBytes())*cxlLowWatermark)
-	freed := p.store.ReclaimLargest(target)
-	p.res.CkptReclaims += int(freed / int64(p.c.P.PageSize))
-}
-
-// CXL occupancy watermarks for checkpoint reclaim.
-const (
-	cxlHighWatermark = 0.90
-	cxlLowWatermark  = 0.75
-)
-
 // arrive handles one request arrival.
 func (p *Porter) arrive(fn string) {
-	p.reclaimCXLPressure()
+	p.maybeReclaim()
+	if st := p.fns[fn]; st != nil {
+		st.demand++
+	}
 	req := &pending{fn: fn, arrived: p.c.Eng.Now()}
 	if inst := p.findIdle(fn); inst != nil {
 		p.serve(inst, req)
@@ -175,7 +183,7 @@ func (p *Porter) serve(inst *instance, req *pending) {
 // to a scratch cold start.
 func (p *Porter) trySpawn(fn string, req *pending) bool {
 	st := p.fns[fn]
-	_, haveCkpt := p.store.Get(p.cfg.User, fn)
+	img, haveCkpt := p.store.Get(p.cfg.User, fn)
 	excluded := make(map[*nodeState]bool)
 
 	pol := st.policy
@@ -237,8 +245,17 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 
 	inst := &instance{fn: fn, node: node, policy: pol, pages: pages, ownsCtr: ownsCtr, state: instSpawning}
 	node.all[inst] = true
+	req.cold = true
 	if haveCkpt {
 		p.res.ColdForks++
+		// Pin the image for the duration of the restore: eviction may
+		// drop it from the store meanwhile, but its frames must outlive
+		// every in-flight restore (the eviction-safety invariant).
+		img.Retain()
+		p.store.Touch(p.cfg.User, fn, p.c.Eng.Now())
+		if st := p.fns[fn]; st != nil {
+			st.scoreBase = p.agingL
+		}
 	} else {
 		p.res.ScratchCold++
 	}
@@ -246,8 +263,12 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 	if !haveCkpt {
 		spanName = "scratch-cold"
 	}
+	restored := haveCkpt
 	finish := func(end des.Time) {
 		p.c.Trace.EmitFlow(node.os.Index, trace.CatPorter, spanName, end-dur, dur, 0, pages)
+		if restored {
+			img.Release()
+		}
 		inst.warmRuns++
 		p.complete(inst, req, end)
 	}
@@ -392,6 +413,9 @@ func (p *Porter) complete(inst *instance, req *pending, end des.Time) {
 	lat := end - req.arrived
 	p.res.Overall.Record(lat)
 	p.res.PerFunction[inst.fn].Record(lat)
+	if req.cold && p.res.ColdLatency != nil {
+		p.res.ColdLatency.Record(lat)
+	}
 	p.res.Completed++
 	if end > p.lastDone {
 		p.lastDone = end
@@ -406,6 +430,7 @@ func (p *Porter) complete(inst *instance, req *pending, end des.Time) {
 		st.lateEWM = 0.7*st.lateEWM + 0.3*ratio
 		p.maybePromote(st)
 	}
+	p.maybeRecheckpoint(inst)
 
 	// Fast path: keep serving this function's queue with the instance.
 	if len(st.queue) > 0 {

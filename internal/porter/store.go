@@ -3,6 +3,7 @@ package porter
 import (
 	"sort"
 
+	"cxlfork/internal/des"
 	"cxlfork/internal/rfork"
 )
 
@@ -10,35 +11,87 @@ import (
 // CXL fabric (§5): it maps <user, function> tuples to checkpoint IDs
 // (CIDs) of CXL-stored checkpoints. The store holds one reference on
 // every registered image and is responsible for reclaiming checkpoints
-// under CXL memory pressure.
+// under CXL memory pressure. Alongside each image it tracks restore
+// recency and frequency — the signals the capacity manager's LRU and
+// cost-benefit eviction policies rank candidates by.
 type ObjectStore struct {
-	entries map[storeKey]rfork.Image
+	entries map[storeKey]*storeEntry
 }
 
 type storeKey struct {
 	user, function string
 }
 
+type storeEntry struct {
+	img         rfork.Image
+	lastRestore des.Time
+	restores    int64
+}
+
+// Entry is one registered checkpoint with its restore statistics, as
+// exposed to eviction policies and diagnostics.
+type Entry struct {
+	User, Function string
+	Image          rfork.Image
+	// LastRestore is the virtual time of the most recent restore served
+	// from this checkpoint (zero if never restored).
+	LastRestore des.Time
+	// Restores counts restores served from this checkpoint.
+	Restores int64
+}
+
 // NewObjectStore returns an empty store.
 func NewObjectStore() *ObjectStore {
-	return &ObjectStore{entries: make(map[storeKey]rfork.Image)}
+	return &ObjectStore{entries: make(map[storeKey]*storeEntry)}
 }
 
 // Put registers an image under <user, function>, replacing (and
 // releasing) any previous entry. The store takes ownership of the
-// caller's reference.
+// caller's reference. Restore statistics restart from zero: a
+// re-published checkpoint earns its retention anew.
 func (s *ObjectStore) Put(user, function string, img rfork.Image) {
 	k := storeKey{user, function}
 	if old, ok := s.entries[k]; ok {
-		old.Release()
+		old.img.Release()
 	}
-	s.entries[k] = img
+	s.entries[k] = &storeEntry{img: img}
 }
 
 // Get queries the CID for <user, function>.
 func (s *ObjectStore) Get(user, function string) (rfork.Image, bool) {
-	img, ok := s.entries[storeKey{user, function}]
-	return img, ok
+	e, ok := s.entries[storeKey{user, function}]
+	if !ok {
+		return nil, false
+	}
+	return e.img, true
+}
+
+// Touch records a restore served from <user, function> at virtual time
+// now, feeding the LRU and cost-benefit eviction policies.
+func (s *ObjectStore) Touch(user, function string, now des.Time) {
+	if e, ok := s.entries[storeKey{user, function}]; ok {
+		e.lastRestore = now
+		e.restores++
+	}
+}
+
+// Entries returns every registered checkpoint with its restore
+// statistics, sorted by <user, function> for deterministic iteration.
+func (s *ObjectStore) Entries() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for k, e := range s.entries {
+		out = append(out, Entry{
+			User: k.user, Function: k.function,
+			Image: e.img, LastRestore: e.lastRestore, Restores: e.restores,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Function < out[j].Function
+	})
+	return out
 }
 
 // Len returns the number of registered checkpoints.
@@ -48,49 +101,73 @@ func (s *ObjectStore) Len() int { return len(s.entries) }
 // store's reference (live clones keep theirs).
 func (s *ObjectStore) Reclaim(user, function string) bool {
 	k := storeKey{user, function}
-	img, ok := s.entries[k]
+	e, ok := s.entries[k]
 	if !ok {
 		return false
 	}
-	img.Release()
+	e.img.Release()
 	delete(s.entries, k)
 	return true
 }
 
-// ReclaimLargest drops checkpoints, largest CXL footprint first, until
-// freed bytes reach the target. It returns the bytes freed (counting
-// each image's full device footprint; actual reclaim completes when the
-// last clone exits).
+// dedupAware is implemented by images whose device accounting
+// distinguishes exclusive from dedup-shared frames (core.Checkpoint and
+// the capacity manager's replay images).
+type dedupAware interface {
+	ReclaimableBytes() int64
+}
+
+// reclaimEstimate predicts the device occupancy delta releasing the
+// store's reference on img would produce right now. An image pinned by
+// live clones or in-flight restores (extra references) frees nothing
+// yet; a dedup-aware image frees only metadata plus its exclusive
+// frames; other mechanisms free their declared footprint.
+func reclaimEstimate(img rfork.Image) int64 {
+	if img.Refs() > 1 {
+		return 0
+	}
+	if r, ok := img.(dedupAware); ok {
+		return r.ReclaimableBytes()
+	}
+	return img.CXLBytes()
+}
+
+// ReclaimLargest drops checkpoints, largest actually-reclaimable
+// footprint first, until freed bytes reach the target. It returns the
+// bytes freed, where "freed" is the true device occupancy delta:
+// dedup-shared frames count only for their last surviving owner, and an
+// image pinned by live clones contributes zero until the last clone
+// exits. Estimates are recomputed after every release, since releasing
+// one image can promote a twin's shared frames to exclusive.
 func (s *ObjectStore) ReclaimLargest(target int64) int64 {
-	type cand struct {
-		k    storeKey
-		size int64
-	}
-	var cands []cand
-	for k, img := range s.entries {
-		cands = append(cands, cand{k, img.CXLBytes()})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].size != cands[j].size {
-			return cands[i].size > cands[j].size
-		}
-		return cands[i].k.function < cands[j].k.function
-	})
 	var freed int64
-	for _, c := range cands {
-		if freed >= target {
-			break
+	for freed < target && len(s.entries) > 0 {
+		keys := make([]storeKey, 0, len(s.entries))
+		for k := range s.entries {
+			keys = append(keys, k)
 		}
-		s.Reclaim(c.k.user, c.k.function)
-		freed += c.size
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].user != keys[j].user {
+				return keys[i].user < keys[j].user
+			}
+			return keys[i].function < keys[j].function
+		})
+		best, bestSize := keys[0], reclaimEstimate(s.entries[keys[0]].img)
+		for _, k := range keys[1:] {
+			if size := reclaimEstimate(s.entries[k].img); size > bestSize {
+				best, bestSize = k, size
+			}
+		}
+		s.Reclaim(best.user, best.function)
+		freed += bestSize
 	}
 	return freed
 }
 
 // Release drops every entry (experiment teardown).
 func (s *ObjectStore) Release() {
-	for k, img := range s.entries {
-		img.Release()
+	for k, e := range s.entries {
+		e.img.Release()
 		delete(s.entries, k)
 	}
 }

@@ -1,21 +1,3 @@
-// Package pt implements 4-level radix page tables with the hardware and
-// software PTE bits CXLfork's mechanisms rely on.
-//
-// Three properties distinguish these tables from an ordinary map:
-//
-//   - Access/Dirty bits: hardware page walks set A (and D on stores) in
-//     place, even on write-protected checkpointed leaves stored in CXL
-//     memory — that is how CXLfork's hybrid tiering keeps learning the
-//     working set after checkpoint time (paper §4.3).
-//
-//   - Leaf attach: a restored process's tree can reference checkpointed
-//     leaf tables that physically live in a CXL checkpoint arena and are
-//     shared, read-only, by every clone on the fabric (§4.2.1, Fig. 5).
-//
-//   - Leaf copy-on-write: an OS attempt to modify a PTE inside a
-//     protected attached leaf copies the whole 512-entry leaf to local
-//     memory first, mirroring CXLfork's use of an unused PTE bit to trap
-//     such updates (§4.2.1).
 package pt
 
 import "fmt"

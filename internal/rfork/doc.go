@@ -1,0 +1,10 @@
+// Package rfork defines the remote-fork mechanism interface shared by
+// the CRIU-CXL and Mitosis-CXL baselines and by CXLfork itself, so the
+// experiment drivers and the CXLporter autoscaler can treat them
+// uniformly (paper §6.2 evaluates all three behind the same
+// checkpoint/restore interface).
+//
+// Entry points: the Mechanism and Image interfaces; CaptureGlobalState
+// and RestoreGlobalState carry the serialized global state all three
+// mechanisms share (§4.1).
+package rfork

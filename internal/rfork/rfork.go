@@ -1,8 +1,3 @@
-// Package rfork defines the remote-fork mechanism interface shared by
-// the CRIU-CXL and Mitosis-CXL baselines and by CXLfork itself, so the
-// experiment drivers and the CXLporter autoscaler can treat them
-// uniformly (paper §6.2 evaluates all three behind the same
-// checkpoint/restore interface).
 package rfork
 
 import (

@@ -1,0 +1,11 @@
+// Package rforktest provides a shared scenario harness for testing the
+// three remote-fork mechanisms: a small two-node cluster, a parent
+// process with a realistic mixed address space, and content-equality
+// checks between parent and clones.
+//
+// The scenario builders (NewCluster, BuildParent, SnapshotTokens,
+// VerifyCloneContent) live in rforktest.go; invariants.go adds
+// cross-mechanism safety checks — content equality, eviction safety —
+// reused by the fault-injection tests. The harness is how the §6.2
+// baselines and CXLfork are held to the same correctness bar.
+package rforktest

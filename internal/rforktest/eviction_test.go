@@ -1,0 +1,151 @@
+package rforktest
+
+import (
+	"errors"
+	"testing"
+
+	"cxlfork/internal/core"
+	"cxlfork/internal/cxl"
+	"cxlfork/internal/faultinject"
+	"cxlfork/internal/rfork"
+)
+
+// reclaimPredictor is the dedup-aware accounting interface the capacity
+// manager uses (core.Checkpoint implements it).
+type reclaimPredictor interface {
+	ReclaimableBytes() int64
+}
+
+// TestEvictionSafeWithLiveClones is the eviction-safety scenario: the
+// object store drops its reference on a checkpoint (eviction) while two
+// MoW clones still map its device frames. No frame a live clone
+// references may be freed — the clones' image references defer the
+// release — and the device gives the space back only when the last
+// clone exits, at exactly the predicted reclaimable size. A transient
+// device-full fault fires mid-scenario to confirm eviction composes
+// with the fault-injection paths.
+func TestEvictionSafeWithLiveClones(t *testing.T) {
+	c := NewCluster(t)
+	mech := core.New(c.Dev)
+	mech.Faults = c.Faults
+
+	parent := BuildParent(t, c)
+	snap := SnapshotTokens(parent)
+	baseline := c.Dev.UsedBytes()
+
+	img, err := mech.Checkpoint(parent, "cid-evict")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two MoW clones on node 1: their read-only pages map device frames
+	// directly (OnCXL PTEs), each restore taking one image reference.
+	clone1 := c.Node(1).NewTask("clone1")
+	if err := mech.Restore(clone1, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	clone2 := c.Node(1).NewTask("clone2")
+	if err := mech.Restore(clone2, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if img.Refs() != 3 {
+		t.Fatalf("refs = %d, want 3 (store + two clones)", img.Refs())
+	}
+	CheckInvariants(t, c)
+
+	// Evict: the store drops its reference. The image must stay fully
+	// resident for the clones.
+	occupied := c.Dev.UsedBytes()
+	img.Release()
+	if img.Refs() != 2 {
+		t.Fatalf("refs = %d after eviction, want 2", img.Refs())
+	}
+	if got := c.Dev.UsedBytes(); got != occupied {
+		t.Fatalf("eviction freed %d bytes under live clones", occupied-got)
+	}
+	CheckInvariants(t, c) // includes the OnCXL live-frame check
+
+	// A fault mid-scenario: a transient device-full rolls a second
+	// checkpoint back without disturbing the evicted-but-pinned image.
+	c.Faults.Inject(faultinject.Rule{
+		Kind: faultinject.DeviceFull,
+		Step: faultinject.StepCheckpointPT,
+		Node: 0,
+	})
+	if _, err := mech.Checkpoint(parent, "cid-wontfit"); !errors.Is(err, cxl.ErrDeviceFull) {
+		t.Fatalf("injected device-full: got %v", err)
+	}
+	if got := c.Dev.UsedBytes(); got != occupied {
+		t.Fatalf("rollback disturbed occupancy: %d, want %d", got, occupied)
+	}
+	CheckInvariants(t, c)
+
+	// The clones still read correct content through the evicted image.
+	VerifyCloneContent(t, clone1, snap)
+	CheckInvariants(t, c)
+
+	// First clone exits: still pinned by the second.
+	c.Node(1).Exit(clone1)
+	if img.Refs() != 1 {
+		t.Fatalf("refs = %d after first exit, want 1", img.Refs())
+	}
+	CheckInvariants(t, c)
+	VerifyCloneContent(t, clone2, snap)
+
+	// Last clone exits: the deferred release happens now, freeing
+	// exactly the predicted reclaimable bytes.
+	predicted := img.(reclaimPredictor).ReclaimableBytes()
+	before := c.Dev.UsedBytes()
+	c.Node(1).Exit(clone2)
+	if img.Refs() != 0 {
+		t.Fatalf("refs = %d after last exit, want 0", img.Refs())
+	}
+	if freed := before - c.Dev.UsedBytes(); freed != predicted {
+		t.Fatalf("deferred release freed %d, predicted %d", freed, predicted)
+	}
+	CheckInvariants(t, c)
+	_ = baseline
+}
+
+// TestEvictionUnderCrashRecovery combines eviction with node-crash
+// recovery: a clone survives its parent node's crash, the torn retry
+// arena is recovered, and the eviction-safety invariant holds at every
+// step — Recover must never free frames the clone maps.
+func TestEvictionUnderCrashRecovery(t *testing.T) {
+	c := NewCluster(t)
+	mech := core.New(c.Dev)
+	mech.Faults = c.Faults
+
+	parent := BuildParent(t, c)
+	snap := SnapshotTokens(parent)
+	img, err := mech.Checkpoint(parent, "cid-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Node(1).NewTask("clone")
+	if err := mech.Restore(clone, img, rfork.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Evict while the clone lives.
+	img.Release()
+	CheckInvariants(t, c)
+
+	// Node 0 crashes mid-checkpoint of a second image, leaving a torn
+	// arena; Recover collects it without touching the clone's frames.
+	c.Faults.Inject(faultinject.Rule{
+		Kind: faultinject.CrashNode,
+		Step: faultinject.StepCheckpointGlobal,
+		Node: 0,
+	})
+	if _, err := mech.Checkpoint(parent, "cid-torn"); !errors.Is(err, rfork.ErrNodeDown) {
+		t.Fatalf("injected crash: got %v", err)
+	}
+	CheckInvariants(t, c)
+	c.Dev.Recover()
+	CheckInvariants(t, c)
+
+	// The clone is unharmed.
+	VerifyCloneContent(t, clone, snap)
+	c.Node(1).Exit(clone)
+	CheckInvariants(t, c)
+}

@@ -144,7 +144,18 @@ func nodeTaskInvariants(node *kernel.OS) []error {
 					node.Name, task.Name, uint64(va), e.PFN, pool.Name()))
 				return
 			}
-			if !e.Flags.Has(pt.OnCXL) {
+			if e.Flags.Has(pt.OnCXL) {
+				// Eviction safety: dropping a checkpoint from the object
+				// store must never free a device frame some live clone
+				// still maps — the clone's image reference defers the
+				// actual release. A freed frame here means eviction (or a
+				// recovery pass) tore pages out from under a running task.
+				if pool.Frame(int(e.PFN)).Refs() <= 0 {
+					errs = append(errs, fmt.Errorf(
+						"%s/%s: OnCXL PTE at %#x maps freed device frame %d (eviction freed a frame a live clone references)",
+						node.Name, task.Name, uint64(va), e.PFN))
+				}
+			} else {
 				mapped[pool.Frame(int(e.PFN))]++
 			}
 		})

@@ -1,7 +1,3 @@
-// Package rforktest provides a shared scenario harness for testing the
-// three remote-fork mechanisms: a small two-node cluster, a parent
-// process with a realistic mixed address space, and content-equality
-// checks between parent and clones.
 package rforktest
 
 import (

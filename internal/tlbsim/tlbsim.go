@@ -1,12 +1,3 @@
-// Package tlbsim models the per-node TLB and TLB-coherence costs.
-//
-// The TLB matters to this reproduction in two ways. First, CoW faults
-// that downgrade a previously-valid mapping pay a TLB shootdown (~500 ns
-// of the 2.5 µs CXL-CoW fault, paper §4.2.1) — that constant lives in
-// params and is charged by the kernel's fault paths; this package counts
-// the events. Second, page-table walks on TLB misses dereference
-// page-table memory; the kernel charges a (cache-resident) walk cost per
-// miss.
 package tlbsim
 
 import "cxlfork/internal/cachesim"

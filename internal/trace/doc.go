@@ -1,0 +1,25 @@
+// Package trace implements a zero-overhead-when-disabled virtual-time
+// span tracer for the simulation. Every checkpoint, restore, fork, and
+// fault step records a span stamped with des.Time — node, operation,
+// phase, bytes, pages — and spans nest: an operation span contains its
+// phase spans, a copy phase contains the per-shard lane spans the
+// pipeline scheduler observed. The event stream exports to Chrome
+// trace_event JSON (viewable in Perfetto, chrome.go), to a compact
+// checksummed binary form (encode.go), and folds into per-phase latency
+// histograms (metrics.PhaseStats).
+//
+// The tracer is pull-free and purely observational: it never advances a
+// clock or touches simulation state, so enabling it cannot change any
+// simulated result — the golden fingerprint tests enforce this. All
+// methods are nil-safe; a nil *Tracer is the disabled tracer, and the
+// only cost on the disabled path is a nil check.
+//
+// Determinism: events append in emission order, which is a pure function
+// of the (seeded) simulation, and the exporters iterate in that order or
+// in sorted orders — identical seeds yield byte-identical traces.
+//
+// Entry points: New (a nil Tracer is the disabled tracer); Emit,
+// EmitFlow and EmitShards record spans, EncodeEvents and DecodeEvents
+// round-trip the binary form, and CheckNesting validates span
+// structure.
+package trace

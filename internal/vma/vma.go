@@ -1,16 +1,3 @@
-// Package vma implements the virtual memory area tree describing a
-// process address space layout.
-//
-// Mirroring the paper's restore optimization (§4.2.1, Fig. 5), the tree
-// is split into locally-allocated upper structure (a sorted index of
-// leaf nodes) and leaf nodes holding runs of VMAs. A checkpointed leaf
-// node resides in a CXL arena, is write-protected, and can be attached
-// by restored processes on any node; updating a VMA inside a protected
-// leaf copies the leaf to local memory first (leaf copy-on-write).
-// Serverless address spaces carry hundreds of VMAs — mostly private
-// library mappings that never change — so attaching leaves instead of
-// reconstructing each VMA is what makes CXLfork's restore near
-// constant-time.
 package vma
 
 import (

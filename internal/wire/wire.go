@@ -1,9 +1,3 @@
-// Package wire implements a compact protobuf-style binary encoding:
-// varint scalars and length-delimited fields addressed by numeric tags.
-// The CRIU-CXL baseline serializes its checkpoint images with it
-// (standing in for CRIU's real Protocol Buffers images), and CXLfork
-// uses it for the small amount of global state it must still serialize
-// (file paths, permissions, mounts, PID namespaces — paper §4.1).
 package wire
 
 import (

@@ -1,19 +1,3 @@
-// Package workflow implements the FaaS-workflow extension the paper's
-// discussion sketches (§8): multi-function applications whose stages
-// pass intermediate payloads to each other. Two transports are modelled
-// on the real substrate:
-//
-//   - ByValue: each hop stages the payload through CXL memory and the
-//     consumer copies it into local DRAM before computing on it — the
-//     serialization-free but copy-ful baseline.
-//
-//   - ByReference: the producer publishes the payload once into a
-//     shared CXL mapping and every downstream stage maps the same
-//     frames read-only, zero-copy — "extending CXLfork to provide
-//     shared-memory semantics over CXL for communication".
-//
-// The chain driver places consecutive stages on alternating nodes, so
-// every hop is a genuine cross-node transfer.
 package workflow
 
 import (
