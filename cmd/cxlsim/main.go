@@ -8,6 +8,7 @@
 //	cxlsim -exp all              # everything (slow)
 //	cxlsim -exp fig1 -invocations 32
 //	cxlsim -exp fig10 -rps 150 -duration 60
+//	cxlsim -exp slo -telemetry      # burn-rate alerts driving reclaim
 package main
 
 import (
@@ -21,11 +22,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, all")
 	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
-	rps := flag.Float64("rps", 150, "fig10/capacity: aggregate request rate")
-	duration := flag.Float64("duration", 60, "fig10/capacity: trace duration in seconds")
+	rps := flag.Float64("rps", 150, "fig10/capacity/slo: aggregate request rate")
+	duration := flag.Float64("duration", 60, "fig10/capacity/slo: trace duration in seconds")
+	telem := flag.Bool("telemetry", false, "enable virtual-time metric sampling (DESIGN.md §11)")
 	flag.Parse()
 
 	if *exp == "" {
@@ -33,6 +35,9 @@ func main() {
 		os.Exit(2)
 	}
 	p := experiments.ExpParams()
+	if *telem {
+		p.TelemetryEnabled = true
+	}
 	w := os.Stdout
 
 	run := func(id string) error {
@@ -117,6 +122,15 @@ func main() {
 				return err
 			}
 			r.Render(w)
+		case "slo":
+			cfg := experiments.DefaultSLOConfig()
+			cfg.RPS = *rps
+			cfg.Duration = des.Time(*duration * float64(des.Second))
+			r, err := experiments.SLO(p, cfg)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
 		case "lanes":
 			r, err := experiments.LaneSweep(p, *lanesFn, nil)
 			if err != nil {
@@ -131,7 +145,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity"}
+		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo"}
 	}
 	for i, id := range ids {
 		if i > 0 {

@@ -69,8 +69,24 @@ type Config struct {
 	// Capacity tunes the device-capacity manager (checkpoint eviction
 	// under memory pressure, DESIGN.md §10). Zero values keep defaults.
 	Capacity CapacityConfig
+	// Telemetry tunes the virtual-time metric sampler (DESIGN.md §11).
+	// Like tracing, sampling is purely observational.
+	Telemetry TelemetryConfig
 	// Seed drives all randomized behaviour (deterministic by default).
 	Seed int64
+}
+
+// TelemetryConfig tunes the deterministic metric sampler: every layer
+// registers gauges/counters against a shared registry that is probed
+// on a fixed virtual-time tick into bounded ring-buffer series.
+type TelemetryConfig struct {
+	// Enabled turns sampling on.
+	Enabled bool
+	// SampleEvery is the virtual-time sampling period (default 100ms).
+	SampleEvery time.Duration
+	// SeriesCap bounds each series' sample ring (default 4096); once
+	// full the oldest sample is overwritten and counted as dropped.
+	SeriesCap int
 }
 
 // CapacityConfig tunes checkpoint eviction on the shared device. The
@@ -150,6 +166,15 @@ func (c Config) params() params.Params {
 	}
 	if c.Capacity.ReclaimPeriod > 0 {
 		p.CXLReclaimPeriod = des.Time(c.Capacity.ReclaimPeriod)
+	}
+	if c.Telemetry.Enabled {
+		p.TelemetryEnabled = true
+	}
+	if c.Telemetry.SampleEvery > 0 {
+		p.SampleEvery = des.Time(c.Telemetry.SampleEvery)
+	}
+	if c.Telemetry.SeriesCap > 0 {
+		p.TelemetrySeriesCap = c.Telemetry.SeriesCap
 	}
 	return p
 }
@@ -746,4 +771,59 @@ func (s *System) TracePhases() []PhaseLatency {
 		})
 	}
 	return out
+}
+
+// MetricsFormat selects a telemetry export encoding for WriteMetrics.
+type MetricsFormat string
+
+// Supported telemetry export formats: Prometheus text exposition,
+// OpenMetrics, and CSV/JSON timeline dumps.
+const (
+	MetricsPrometheus  MetricsFormat = "prometheus"
+	MetricsOpenMetrics MetricsFormat = "openmetrics"
+	MetricsCSV         MetricsFormat = "csv"
+	MetricsJSON        MetricsFormat = "json"
+)
+
+// TelemetryEnabled reports whether the system samples telemetry
+// (Config.Telemetry.Enabled).
+func (s *System) TelemetryEnabled() bool { return s.c.Telem.Enabled() }
+
+// Snapshot samples every registered telemetry series at the current
+// virtual instant — the facade's on-demand tick for scenarios that are
+// not driven by the autoscaler's sampling loop. It errors when
+// telemetry is disabled.
+func (s *System) Snapshot() error {
+	if !s.c.Telem.Enabled() {
+		return fmt.Errorf("cxlfork: telemetry disabled (set Config.Telemetry.Enabled)")
+	}
+	s.c.Telem.Sample(s.c.Eng.Now())
+	return nil
+}
+
+// TelemetrySamples returns how many sample ticks have run.
+func (s *System) TelemetrySamples() int64 { return s.c.Telem.Ticks() }
+
+// TelemetryDropped returns how many samples the bounded series rings
+// overwrote (0 unless a run outgrew Config.Telemetry.SeriesCap).
+func (s *System) TelemetryDropped() int64 { return s.c.Telem.Dropped() }
+
+// WriteMetrics writes the sampled telemetry in the given format; see
+// MetricsFormat for the encodings. It errors when telemetry is
+// disabled or the format is unknown.
+func (s *System) WriteMetrics(w io.Writer, format MetricsFormat) error {
+	if !s.c.Telem.Enabled() {
+		return fmt.Errorf("cxlfork: telemetry disabled (set Config.Telemetry.Enabled)")
+	}
+	switch format {
+	case MetricsPrometheus:
+		return s.c.Telem.WritePrometheus(w)
+	case MetricsOpenMetrics:
+		return s.c.Telem.WriteOpenMetrics(w)
+	case MetricsCSV:
+		return s.c.Telem.WriteCSV(w)
+	case MetricsJSON:
+		return s.c.Telem.WriteJSON(w)
+	}
+	return fmt.Errorf("cxlfork: unknown metrics format %q", format)
 }

@@ -9,6 +9,7 @@ import (
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/params"
+	"cxlfork/internal/telemetry"
 	"cxlfork/internal/trace"
 )
 
@@ -31,6 +32,13 @@ type Cluster struct {
 	// observational — it never advances any clock — so enabling it
 	// cannot change simulation results.
 	Trace *trace.Tracer
+
+	// Telem is the cluster-wide telemetry registry, shared by every
+	// layer, or nil when params.TelemetryEnabled is false. Like the
+	// tracer, its probes are read-only observers on the virtual clock,
+	// so enabling sampling cannot change simulation results
+	// (DESIGN.md §11).
+	Telem *telemetry.Registry
 }
 
 // New builds a cluster of n nodes with the given parameters. All nodes
@@ -54,10 +62,16 @@ func New(p params.Params, n int) (*Cluster, error) {
 	if p.TraceEnabled {
 		c.Trace = trace.New(p.TraceBufferCap)
 	}
+	if p.TelemetryEnabled {
+		c.Telem = telemetry.New(p.SampleEvery, p.TelemetrySeriesCap)
+		dev.RegisterTelemetry(c.Telem)
+		c.Faults.RegisterTelemetry(c.Telem)
+	}
 	for i := 0; i < n; i++ {
 		node := kernel.NewOS(fmt.Sprintf("node%d", i), p, eng, dev, fs, p.NodeDRAMBytes)
 		node.Index = i
 		node.Trace = c.Trace
+		node.RegisterTelemetry(c.Telem)
 		c.Nodes = append(c.Nodes, node)
 	}
 	return c, nil

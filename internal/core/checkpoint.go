@@ -348,6 +348,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 		return nil, ptErr
 	}
 	obs, laneSpans := o.Trace.CollectShards()
+	obs = o.LaneObs(shards, obs)
 	copyDur := m.copyCostObs(lanes, shards, obs)
 	cost += copyDur
 

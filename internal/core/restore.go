@@ -134,6 +134,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 		return fmt.Errorf("core: unknown tiering policy %v", opts.Policy)
 	}
 	obs, laneSpans := o.Trace.CollectShards()
+	obs = o.LaneObs(shards, obs)
 	copyDur := m.copyCostObs(lanes, shards, obs)
 	cost += copyDur
 

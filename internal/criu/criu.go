@@ -136,6 +136,7 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	encCost := cost
 	shards := des.UniformShards(pages, pageShard, 0, m.Faults.Scale(p.CRIUPageSerialize))
 	obs, laneSpans := o.Trace.CollectShards()
+	obs = o.LaneObs(shards, obs)
 	pipeDur := des.PipelineTimeObs(p.CheckpointLanes, p.FabricStreams, p.LaneDispatch, shards, obs)
 	cost += pipeDur
 
@@ -241,6 +242,7 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, _ rfork.Options
 	}
 	shards = append(shards, des.UniformShards(len(pageRecs), pageShard, 0, m.Faults.Scale(p.CRIUPageRestore))...)
 	obs, laneSpans := o.Trace.CollectShards()
+	obs = o.LaneObs(shards, obs)
 	pipeDur := des.PipelineTimeObs(p.RestoreLanes, p.FabricStreams, p.LaneDispatch, shards, obs)
 	cost += pipeDur
 

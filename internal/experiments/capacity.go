@@ -290,4 +290,9 @@ func (r *CapacityResult) Render(w io.Writer) {
 			100*minFrac, compact(cb.ColdP99), compact(lg.ColdP99),
 			float64(lg.ColdP99)/float64(cb.ColdP99))
 	}
+
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		renderObservability(w, fmt.Sprintf("%s@%.0f%%: ", run.Policy, 100*run.DevFrac), run.Results)
+	}
 }

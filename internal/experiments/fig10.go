@@ -323,4 +323,9 @@ func (r *Fig10Result) Render(w io.Writer) {
 		fmt.Fprintf(w, "\nP99 reduction vs CRIU (abundant memory): Mitosis %.0f%% (paper 51%%), CXLfork %.0f%% (paper 70%%)\n",
 			100*mitP99/float64(n), 100*cxlP99/float64(n))
 	}
+
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		renderObservability(w, fmt.Sprintf("%s@%.0f%%: ", run.Design, 100*run.MemFrac), run.Results)
+	}
 }

@@ -1,0 +1,37 @@
+package faultinject
+
+import (
+	"cxlfork/internal/des"
+	"cxlfork/internal/telemetry"
+)
+
+// ActiveFaults returns how many injected failure conditions are in
+// effect right now: downed nodes, plus one while a fabric-degradation
+// window is open. Transient faults (device-full, corruption) fire
+// instantaneously and never count as active.
+func (p *Plan) ActiveFaults() int {
+	if p == nil {
+		return 0
+	}
+	n := len(p.down)
+	if p.eng.Now() < p.slowUntil && p.slowFactor >= 1 {
+		n++
+	}
+	return n
+}
+
+// RegisterTelemetry registers the plan's fault gauges and counters
+// against reg.
+func (p *Plan) RegisterTelemetry(reg *telemetry.Registry) {
+	if p == nil || !reg.Enabled() {
+		return
+	}
+	reg.Gauge("faultinject_active", "injected failure conditions currently in effect",
+		func(des.Time) float64 { return float64(p.ActiveFaults()) })
+	reg.CounterFunc("faultinject_injected_total", "faults fired by the injection plan",
+		func(des.Time) float64 { return float64(p.Counters.Injected.Value()) })
+	reg.CounterFunc("faultinject_retries_total", "operations re-attempted after an injected fault",
+		func(des.Time) float64 { return float64(p.Counters.Retries.Value()) })
+	reg.CounterFunc("faultinject_fallbacks_total", "degradations to a slower path after a fault",
+		func(des.Time) float64 { return float64(p.Counters.Fallbacks.Value()) })
+}

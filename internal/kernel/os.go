@@ -10,6 +10,7 @@ import (
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/params"
+	"cxlfork/internal/telemetry"
 	"cxlfork/internal/tlbsim"
 	"cxlfork/internal/trace"
 )
@@ -42,6 +43,14 @@ type OS struct {
 	// tracing is disabled. All emission sites are nil-safe, so the
 	// disabled path costs one pointer test.
 	Trace *trace.Tracer
+	// Telem is the cluster-shared telemetry registry, or nil when
+	// sampling is disabled (DESIGN.md §11).
+	Telem *telemetry.Registry
+	// Lane-pipeline accumulation counters, nil when telemetry is off
+	// (nil *Counter handles absorb updates).
+	laneBusy   *telemetry.Counter
+	laneShards *telemetry.Counter
+	streamWork *telemetry.Counter
 
 	nextPID  int
 	nextASID uint32

@@ -62,6 +62,40 @@ func (r *LatencyRecorder) Percentile(p float64) des.Time {
 	return r.samples[rank-1]
 }
 
+// Quantile returns the p-th percentile (0 <= p <= 100) with linear
+// interpolation between adjacent order statistics — the smoother
+// estimator telemetry summaries use, where nearest-rank's stair-steps
+// would show up as false level shifts. A single-sample distribution
+// returns that sample for every p: the naive interpolation index
+// p/100*(n-1) degenerates to position 0 of an unguarded formula and
+// historically reported 0 for P50.
+func (r *LatencyRecorder) Quantile(p float64) des.Time {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if len(r.samples) == 1 {
+		return r.samples[0]
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[len(r.samples)-1]
+	}
+	pos := p / 100 * float64(len(r.samples)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if frac == 0 {
+		return r.samples[lo]
+	}
+	a, b := float64(r.samples[lo]), float64(r.samples[lo+1])
+	return des.Time(math.Round(a + frac*(b-a)))
+}
+
 // P50 returns the median.
 func (r *LatencyRecorder) P50() des.Time { return r.Percentile(50) }
 
@@ -115,6 +149,18 @@ func (s *PhaseStats) Phases() []string {
 // Recorder returns the named phase's distribution, or nil if the phase
 // was never recorded.
 func (s *PhaseStats) Recorder(phase string) *LatencyRecorder { return s.m[phase] }
+
+// Percentile returns the named phase's p-th percentile with linear
+// interpolation (see LatencyRecorder.Quantile); in particular a phase
+// holding a single sample returns that sample, not 0. An unrecorded
+// phase returns 0.
+func (s *PhaseStats) Percentile(phase string, p float64) des.Time {
+	r, ok := s.m[phase]
+	if !ok {
+		return 0
+	}
+	return r.Quantile(p)
+}
 
 // Total returns the summed time across all phases.
 func (s *PhaseStats) Total() des.Time {

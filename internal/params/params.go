@@ -214,6 +214,43 @@ type Params struct {
 	// CXLReclaimPeriod is how often the background reclaim pass re-checks
 	// device occupancy on the virtual clock while a trace replays.
 	CXLReclaimPeriod des.Time
+
+	// ---- Telemetry and SLOs (DESIGN.md §11) ----
+
+	// TelemetryEnabled turns on the virtual-time metric sampler: every
+	// layer registers gauges/counters against a shared registry that is
+	// probed on a fixed virtual-time tick. Sampling is read-only and
+	// never perturbs a run; disabled, it is zero-overhead (nil-receiver
+	// pattern, same as tracing).
+	TelemetryEnabled bool
+	// SampleEvery is the virtual-time period between sample ticks.
+	SampleEvery des.Time
+	// TelemetrySeriesCap bounds each series' sample ring; once full the
+	// oldest sample is overwritten and the series' drop counter is
+	// incremented.
+	TelemetrySeriesCap int
+	// SLOOccupancy, when non-zero, declares a device-occupancy
+	// objective: the utilization fraction samples should stay at or
+	// below. Violations are charged against SLOBudget.
+	SLOOccupancy float64
+	// SLOColdStartP99, when non-zero, declares a cold-start tail
+	// objective: the running cold P99 should stay at or below this.
+	SLOColdStartP99 des.Time
+	// SLOBudget is the fraction of window samples allowed to violate
+	// an objective before burn-rate alerting engages.
+	SLOBudget float64
+	// SLOWindowShort and SLOWindowLong are the two sliding windows of
+	// the multi-window burn-rate alerts: the long window proves a
+	// violation is sustained, the short one that it is still happening.
+	SLOWindowShort des.Time
+	SLOWindowLong  des.Time
+	// SLOBurnFactor is the burn rate (budget spend multiple) at which
+	// an alert fires on both windows.
+	SLOBurnFactor float64
+	// SLODriveReclaim lets a firing occupancy alert drive the capacity
+	// manager: trigger an early reclaim pass toward the low watermark
+	// and tighten checkpoint admission to it while the alert is active.
+	SLODriveReclaim bool
 }
 
 // Default returns the calibrated parameter set matching the paper's
@@ -286,6 +323,14 @@ func Default() Params {
 		CXLHighWatermark: 0.90,
 		CXLLowWatermark:  0.75,
 		CXLReclaimPeriod: 1 * des.Second,
+
+		TelemetryEnabled:   false,
+		SampleEvery:        100 * des.Millisecond,
+		TelemetrySeriesCap: 4096,
+		SLOBudget:          0.1,
+		SLOWindowShort:     1 * des.Second,
+		SLOWindowLong:      5 * des.Second,
+		SLOBurnFactor:      2,
 	}
 }
 

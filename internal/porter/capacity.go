@@ -237,7 +237,15 @@ func (p *Porter) reclaimToLow() int64 {
 // function keeps running on scratch cold starts and asks again later.
 func (p *Porter) admitCheckpoint(fn string, need int64) bool {
 	dev := p.c.Dev
-	high := int64(float64(dev.CapacityBytes()) * p.c.P.CXLHighWatermark)
+	wm := p.c.P.CXLHighWatermark
+	if p.sloTighten && p.slo.Firing(SLOOccupancyObjective) {
+		// A firing occupancy alert tightens admission to the low
+		// watermark: while the burn rate says the device is trending
+		// into trouble, new publications must leave reclaim headroom
+		// (DESIGN.md §11).
+		wm = p.c.P.CXLLowWatermark
+	}
+	high := int64(float64(dev.CapacityBytes()) * wm)
 	if dev.UsedBytes()+need <= high {
 		return true
 	}
@@ -382,6 +390,7 @@ func (p *Porter) republish(fn string, node *nodeState, begin, dur des.Time) {
 		refs:  rfork.NewRefCount(),
 	}
 	p.store.Put(p.cfg.User, fn, img)
+	p.admits.Inc()
 	if st := p.fns[fn]; st != nil {
 		st.scoreBase = p.agingL
 	}

@@ -14,6 +14,7 @@ import (
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/metrics"
 	"cxlfork/internal/rfork"
+	"cxlfork/internal/telemetry"
 )
 
 // Profile is the measured behaviour of one (function, mechanism,
@@ -232,6 +233,23 @@ type Results struct {
 	// Recheckpoints counts evicted checkpoints re-published from their
 	// frame-token snapshots.
 	Recheckpoints int64
+
+	// Observability accounting, mirrored from the tracer and telemetry
+	// registry after the run so drop-driven data loss is visible in run
+	// summaries without reaching through the facade. These fields are
+	// deliberately excluded from Fingerprint(): enabling observation
+	// must not change what a run "is".
+	//
+	// TraceDropped counts span events the tracer discarded on buffer
+	// overflow.
+	TraceDropped int64
+	// TelemetrySamples counts telemetry sample ticks taken.
+	TelemetrySamples int64
+	// TelemetryDropped counts telemetry ring-buffer overwrites across
+	// all series.
+	TelemetryDropped int64
+	// SLOAlertsFired counts SLO burn-rate alert fire transitions.
+	SLOAlertsFired int64
 }
 
 // Throughput returns requests completed within the arrival window per
@@ -273,6 +291,17 @@ type Porter struct {
 	// snaps holds per-function frame-token snapshots of published
 	// checkpoints, for re-publication after eviction.
 	snaps map[string]*ckptSnapshot
+
+	// telem is the cluster's telemetry registry (nil when disabled);
+	// slo evaluates burn-rate objectives after each sample tick.
+	telem *telemetry.Registry
+	slo   *telemetry.Engine
+	// admits counts checkpoint publications (initial provisioning and
+	// re-publications) for the admissions series.
+	admits *telemetry.Counter
+	// sloTighten, while the occupancy alert fires, drops checkpoint
+	// admission from the high to the low watermark (DESIGN.md §11).
+	sloTighten bool
 }
 
 // New creates a porter over a cluster.
@@ -315,6 +344,7 @@ func New(c *cluster.Cluster, cfg Config) *Porter {
 			all:         make(map[*instance]bool),
 		})
 	}
+	p.registerTelemetry()
 	return p
 }
 
@@ -400,6 +430,7 @@ func (p *Porter) provision(s faas.Spec) error {
 		case err == nil:
 			p.snapshot(s.Name, img)
 			p.store.Put(p.cfg.User, s.Name, img)
+			p.admits.Inc()
 			if st := p.fns[s.Name]; st != nil {
 				st.scoreBase = p.agingL
 			}

@@ -80,9 +80,31 @@ func (p *Porter) Run(trace []azure.Request) Results {
 		})
 	}
 
+	// Telemetry sampling: probe every registered series on the virtual
+	// clock for the duration of the arrival window, then evaluate SLO
+	// burn rates (DESIGN.md §11). Probes are read-only, so the tick's
+	// only effect on the event heap is its own presence — results are
+	// identical with sampling on or off.
+	if p.telem != nil {
+		p.sampleTelemetry(eng.Now())
+		if every := p.telem.SampleEvery(); every > 0 {
+			eng.Every(every, func() bool {
+				if eng.Now() >= base+last {
+					return false
+				}
+				p.sampleTelemetry(eng.Now())
+				return true
+			})
+		}
+	}
+
 	p.observeMem()
 	eng.Run()
 	p.res.Duration = p.lastDone - base
+	if p.telem != nil {
+		// Final sample so the exports include end-of-run state.
+		p.sampleTelemetry(eng.Now())
+	}
 
 	// Availability accounting: mirror the cluster plan's fault counters
 	// (which cover Setup as well as the trace) into the results.
@@ -109,6 +131,14 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	p.res.DeferredBytes = cc.DeferredBytes.Value()
 	p.res.CkptRefused = cc.AdmitRefused.Value()
 	p.res.Recheckpoints = cc.Recheckpoints.Value()
+
+	// Observability accounting: surface tracer and telemetry data loss
+	// plus SLO activity in the results so run summaries can print them.
+	// None of these fields participate in Fingerprint().
+	p.res.TraceDropped = p.c.Trace.Dropped()
+	p.res.TelemetrySamples = p.telem.Ticks()
+	p.res.TelemetryDropped = p.telem.Dropped()
+	p.res.SLOAlertsFired = p.slo.Fired()
 	return p.res
 }
 

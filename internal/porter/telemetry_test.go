@@ -1,0 +1,188 @@
+package porter_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cxlfork/internal/azure"
+	"cxlfork/internal/cluster"
+	"cxlfork/internal/core"
+	"cxlfork/internal/des"
+	"cxlfork/internal/faas"
+	"cxlfork/internal/faultinject"
+	"cxlfork/internal/params"
+	"cxlfork/internal/porter"
+)
+
+// telemetryRun replays the golden bursty trace with sampling on and
+// returns the porter (for its registry) and the results. A non-nil
+// rule set wires the CXLfork mechanism to the cluster fault plan.
+func telemetryRun(t *testing.T, lanes int, rules []faultinject.Rule) (*porter.Porter, porter.Results) {
+	t.Helper()
+	p := params.Default()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 1 << 30
+	p.CheckpointLanes = lanes
+	p.RestoreLanes = lanes
+	p.TelemetryEnabled = true
+	c := cluster.MustNew(p, 2)
+	for _, r := range rules {
+		c.Faults.Inject(r)
+	}
+	mech := core.New(c.Dev)
+	if len(rules) > 0 {
+		mech.Faults = c.Faults
+	}
+	po := porter.New(c, porter.Config{
+		Mechanism:       mech,
+		Profiles:        profiles("CXLfork"),
+		NodeBudgetBytes: 1 << 30,
+		Seed:            1,
+	})
+	if err := po.Setup([]faas.Spec{tinySpec()}); err != nil {
+		t.Fatal(err)
+	}
+	trace := azure.Generate(azure.TraceConfig{
+		TotalRPS: 40,
+		Duration: 10 * des.Second,
+		Loads:    azure.DefaultLoads([]string{"Tiny"}),
+		Seed:     7,
+	})
+	return po, po.Run(trace)
+}
+
+// exports renders the run's Prometheus and CSV dumps.
+func exports(t *testing.T, po *porter.Porter) (prom, csv string) {
+	t.Helper()
+	reg := po.Telemetry()
+	var pb, cb bytes.Buffer
+	if err := reg.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return pb.String(), cb.String()
+}
+
+// TestTelemetryGoldenExports is the export determinism gate: two
+// identical seeded replays must produce byte-identical Prometheus and
+// CSV dumps — for the sequential baseline, the parallel-lane
+// configuration, and a run with a node crash injected.
+func TestTelemetryGoldenExports(t *testing.T) {
+	crash := []faultinject.Rule{{
+		Kind: faultinject.CrashNode,
+		Step: faultinject.StepCheckpointGlobal,
+		Node: 0,
+	}}
+	for _, tc := range []struct {
+		name  string
+		lanes int
+		rules []faultinject.Rule
+	}{
+		{"lanes=1", 1, nil},
+		{"lanes=4", 4, nil},
+		{"lanes=2/crash", 2, crash},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			poA, resA := telemetryRun(t, tc.lanes, tc.rules)
+			poB, resB := telemetryRun(t, tc.lanes, tc.rules)
+			promA, csvA := exports(t, poA)
+			promB, csvB := exports(t, poB)
+			if promA != promB {
+				t.Fatal("Prometheus exports differ between identical runs")
+			}
+			if csvA != csvB {
+				t.Fatal("CSV exports differ between identical runs")
+			}
+			if resA.Fingerprint() != resB.Fingerprint() {
+				t.Fatal("fingerprints differ between identical runs")
+			}
+			// The equality must not be about an empty registry.
+			if resA.TelemetrySamples < 10 {
+				t.Fatalf("only %d samples recorded", resA.TelemetrySamples)
+			}
+			for _, want := range []string{"porter_completed_total", "cxl_utilization", "kernel_faults_total"} {
+				if !strings.Contains(promA, want) {
+					t.Fatalf("export missing series %s", want)
+				}
+			}
+		})
+	}
+}
+
+// TestTelemetryNeutralFingerprint is the acceptance gate for sampling
+// neutrality: the replay's Results fingerprint must be identical with
+// telemetry on and off, and the sampled run must actually record.
+func TestTelemetryNeutralFingerprint(t *testing.T) {
+	plain := goldenRun(t, 2, 7)
+	po, res := telemetryRun(t, 2, nil)
+	if got := res.Fingerprint(); got != plain {
+		t.Fatalf("telemetry changed the porter fingerprint: %#x vs %#x", got, plain)
+	}
+	if res.TelemetrySamples == 0 || po.Telemetry().Ticks() == 0 {
+		t.Fatal("sampled run recorded nothing")
+	}
+}
+
+// sloRun replays a steady load on a device sized so the resident Tiny
+// checkpoint alone violates the occupancy objective. With drive on,
+// the firing alert must reclaim early; without, only the (never
+// reached) high watermark could.
+func sloRun(t *testing.T, drive bool) (*porter.Porter, porter.Results) {
+	t.Helper()
+	p := params.Default()
+	p.NodeDRAMBytes = 1 << 30
+	p.CXLBytes = 16 << 20 // Tiny's checkpoint occupies well over half
+	p.CXLLowWatermark = 0.2
+	p.TelemetryEnabled = true
+	p.SLOOccupancy = 0.3
+	p.SLODriveReclaim = drive
+	c := cluster.MustNew(p, 2)
+	po := porter.New(c, porter.Config{
+		Mechanism:       core.New(c.Dev),
+		Profiles:        profiles("CXLfork"),
+		NodeBudgetBytes: 1 << 30,
+		Seed:            1,
+	})
+	if err := po.Setup([]faas.Spec{tinySpec()}); err != nil {
+		t.Fatal(err)
+	}
+	return po, po.Run(steadyTrace(100, 50*des.Millisecond))
+}
+
+// TestSLOAlertDrivesReclaim is the observe→act e2e: the occupancy
+// burn-rate alert fires in both runs, but only the driven run turns
+// it into capacity-manager action — early reclaim passes and a device
+// brought under the objective — while the observing run never
+// reclaims because the high watermark is never reached.
+func TestSLOAlertDrivesReclaim(t *testing.T) {
+	poObs, obs := sloRun(t, false)
+	poDrv, drv := sloRun(t, true)
+
+	if obs.SLOAlertsFired == 0 || drv.SLOAlertsFired == 0 {
+		t.Fatalf("occupancy alert never fired: observe %d, drive %d",
+			obs.SLOAlertsFired, drv.SLOAlertsFired)
+	}
+	if len(poObs.SLOAlerts()) == 0 || len(poDrv.SLOAlerts()) == 0 {
+		t.Fatal("no alert transitions recorded")
+	}
+	if obs.ReclaimPasses != 0 {
+		t.Fatalf("observing run reclaimed %d times without being driven", obs.ReclaimPasses)
+	}
+	if drv.ReclaimPasses == 0 {
+		t.Fatal("firing alert did not trigger early reclaim")
+	}
+	if drv.EvictedCkpts == 0 {
+		t.Fatal("early reclaim evicted nothing")
+	}
+	// The driven run ends with the device under the objective.
+	last, ok := poDrv.Telemetry().Lookup("cxl_utilization").Last()
+	if !ok {
+		t.Fatal("no utilization samples")
+	}
+	if last.V > 0.3 {
+		t.Fatalf("driven run still over objective: utilization %.2f", last.V)
+	}
+}

@@ -1,0 +1,25 @@
+// Package telemetry is the cluster's deterministic time-series layer:
+// a virtual-time sampling engine, ring-buffer series with drop
+// accounting, Prometheus/OpenMetrics/CSV/JSON exporters, and an SLO
+// burn-rate rule engine (DESIGN.md §11).
+//
+// Layers register probes — pure read-only closures — against a shared
+// Registry; the porter drives one Sample tick every params.SampleEvery
+// of virtual time, evaluating every probe in registration order at the
+// same instant. Because the clock is the DES virtual clock and probes
+// never mutate simulation state, two identical runs produce
+// byte-identical exports, and a run with sampling enabled produces the
+// same porter fingerprint as one without.
+//
+// A nil *Registry is the disabled state: every method, and every
+// Counter handle it hands out, is a safe no-op — the zero-overhead
+// nil-receiver contract shared with internal/trace.
+//
+// The SLO engine (slo.go) layers declarative objectives over the
+// sampled series: each objective is checked over a short and a long
+// sliding window, firing only when both windows burn the error budget
+// at or above the configured factor, and resolving with hysteresis at
+// half that threshold. Firing objectives may carry an action — the
+// hook the porter uses to let an occupancy alert drive early capacity
+// reclaim.
+package telemetry
