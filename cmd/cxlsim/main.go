@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, all")
 	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
 	rps := flag.Float64("rps", 150, "fig10/capacity/slo: aggregate request rate")
@@ -131,6 +131,17 @@ func main() {
 				return err
 			}
 			r.Render(w)
+		case "chaos":
+			cfg := experiments.DefaultChaosConfig()
+			cfg.RPS = *rps
+			if *duration != 60 {
+				cfg.Duration = des.Time(*duration * float64(des.Second))
+			}
+			r, err := experiments.Chaos(p, cfg)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
 		case "lanes":
 			r, err := experiments.LaneSweep(p, *lanesFn, nil)
 			if err != nil {
@@ -145,7 +156,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo"}
+		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo", "chaos"}
 	}
 	for i, id := range ids {
 		if i > 0 {

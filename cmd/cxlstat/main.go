@@ -49,6 +49,8 @@ func main() {
 	width := flag.Int("width", 40, "sparkline / follow downsample width")
 	filter := flag.String("filter", "", "only series whose key contains this substring")
 	check := flag.Bool("check", false, "self-validate the Prometheus exposition and exit non-zero on malformed lines")
+	devices := flag.Int("devices", 0, "split the CXL capacity into this many pool devices (0 keeps the single device)")
+	rf := flag.Int("rf", 0, "replicate each checkpoint onto this many pool devices (0 keeps the default)")
 	flag.Parse()
 
 	var fnList []string
@@ -56,15 +58,17 @@ func main() {
 		fnList = strings.Split(*fns, ",")
 	}
 	res, err := experiments.TelemetryTrace(experiments.ExpParams(), experiments.TelemetryTraceConfig{
-		RPS:          *rps,
-		Duration:     des.Time(*duration * float64(des.Second)),
-		DeviceFrac:   *frac,
-		Functions:    fnList,
-		Policy:       *policy,
-		Seed:         *seed,
-		SampleEvery:  des.Time(*sample * float64(des.Millisecond)),
-		SLOOccupancy: *slo,
-		SLODrive:     *drive,
+		RPS:               *rps,
+		Duration:          des.Time(*duration * float64(des.Second)),
+		DeviceFrac:        *frac,
+		Functions:         fnList,
+		Policy:            *policy,
+		Seed:              *seed,
+		SampleEvery:       des.Time(*sample * float64(des.Millisecond)),
+		SLOOccupancy:      *slo,
+		SLODrive:          *drive,
+		Devices:           *devices,
+		ReplicationFactor: *rf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cxlstat: %v\n", err)

@@ -34,6 +34,9 @@ var (
 	ErrNodeDown = rfork.ErrNodeDown
 	// ErrDeviceFull marks CXL device capacity exhaustion.
 	ErrDeviceFull = cxl.ErrDeviceFull
+	// ErrDeviceFailed marks an operation against a pool device that a
+	// DeviceLoss fault (or FailDevice) has permanently killed.
+	ErrDeviceFailed = cxl.ErrDeviceFailed
 )
 
 // Config describes the simulated platform.
@@ -69,6 +72,11 @@ type Config struct {
 	// Capacity tunes the device-capacity manager (checkpoint eviction
 	// under memory pressure, DESIGN.md §10). Zero values keep defaults.
 	Capacity CapacityConfig
+	// Replication tunes the multi-device pool and checkpoint replica
+	// placement (DESIGN.md §12). Zero values keep the single-device,
+	// single-copy default, whose behaviour is byte-identical to builds
+	// without a pool.
+	Replication ReplicationConfig
 	// Telemetry tunes the virtual-time metric sampler (DESIGN.md §11).
 	// Like tracing, sampling is purely observational.
 	Telemetry TelemetryConfig
@@ -109,6 +117,39 @@ type CapacityConfig struct {
 	// ReclaimPeriod is the background occupancy re-check interval on the
 	// virtual clock (default 1s).
 	ReclaimPeriod time.Duration
+}
+
+// ReplicationConfig tunes the fabric-attached device pool and the
+// replica manager that fans sealed checkpoints across it
+// (DESIGN.md §12). CXLCapacity is split evenly (page-aligned) across
+// Devices; each sealed checkpoint is placed on Factor devices by
+// consistent hashing with dedup affinity to the ingest device. When a
+// device dies (DeviceLoss fault or FailDevice) restores fail over down
+// the replica list under a per-request retry budget, and an
+// anti-entropy repair loop rebuilds missing copies on the virtual
+// clock.
+type ReplicationConfig struct {
+	// Devices is the pool size; 0 or 1 keeps the single device.
+	Devices int
+	// Factor is the number of devices holding each sealed checkpoint
+	// (clamped to the pool size; default 1).
+	Factor int
+	// RepairPeriod is the anti-entropy loop's tick (default 500ms).
+	RepairPeriod time.Duration
+	// RepairBandwidthPages caps pages copied per repair tick
+	// (default 4096).
+	RepairBandwidthPages int
+	// RetryBudget is the per-restore retry budget shared by replica
+	// failover probes and node-down retries (default 3).
+	RetryBudget int
+	// RetryBackoff is the base of the capped exponential restore
+	// backoff (default 10ms).
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential backoff (default 160ms).
+	RetryBackoffCap time.Duration
+	// FailoverTimeout is the virtual-time cost of probing one dead
+	// replica before moving down the list (default 2ms).
+	FailoverTimeout time.Duration
 }
 
 // DefaultConfig returns a two-node platform matching the paper's
@@ -166,6 +207,30 @@ func (c Config) params() params.Params {
 	}
 	if c.Capacity.ReclaimPeriod > 0 {
 		p.CXLReclaimPeriod = des.Time(c.Capacity.ReclaimPeriod)
+	}
+	if c.Replication.Devices > 0 {
+		p.CXLDevices = c.Replication.Devices
+	}
+	if c.Replication.Factor > 0 {
+		p.ReplicationFactor = c.Replication.Factor
+	}
+	if c.Replication.RepairPeriod > 0 {
+		p.RepairPeriod = des.Time(c.Replication.RepairPeriod)
+	}
+	if c.Replication.RepairBandwidthPages > 0 {
+		p.RepairBandwidthPages = c.Replication.RepairBandwidthPages
+	}
+	if c.Replication.RetryBudget > 0 {
+		p.RestoreRetryBudget = c.Replication.RetryBudget
+	}
+	if c.Replication.RetryBackoff > 0 {
+		p.RestoreRetryBackoff = des.Time(c.Replication.RetryBackoff)
+	}
+	if c.Replication.RetryBackoffCap > 0 {
+		p.RestoreRetryBackoffCap = des.Time(c.Replication.RetryBackoffCap)
+	}
+	if c.Replication.FailoverTimeout > 0 {
+		p.ReplicaFailoverTimeout = des.Time(c.Replication.FailoverTimeout)
 	}
 	if c.Telemetry.Enabled {
 		p.TelemetryEnabled = true
@@ -267,6 +332,9 @@ func NewSystem(cfg Config) *System {
 	}
 	c := cluster.MustNew(cfg.params(), cfg.Nodes)
 	c.Faults.Reseed(cfg.Seed)
+	// DeviceLoss rules are clock-driven: arm them now so rules injected
+	// at any point fire at their At offset and kill the pool device.
+	c.Faults.ArmDeviceLoss(func(dev int) { c.Pool.Fail(dev) })
 	coreMech := core.New(c.Dev)
 	coreMech.Faults = c.Faults
 	criuMech := criu.New(c.CXLFS)
@@ -296,6 +364,13 @@ func (s *System) checkNode(node int) error {
 // Now returns the virtual clock.
 func (s *System) Now() time.Duration { return time.Duration(s.c.Eng.Now()) }
 
+// Sleep idles the cluster for d of virtual time, firing any events
+// scheduled inside the window — in particular pending DeviceLoss
+// faults, which are clock-driven rather than step-matched.
+func (s *System) Sleep(d time.Duration) {
+	s.c.Eng.RunUntil(s.c.Eng.Now() + des.Time(d))
+}
+
 // Nodes returns the node count.
 func (s *System) Nodes() int { return len(s.c.Nodes) }
 
@@ -304,8 +379,40 @@ func (s *System) NodeMemoryUsed(node int) int64 {
 	return s.c.Node(node).Mem.UsedBytes()
 }
 
-// CXLMemoryUsed returns the shared device occupancy in bytes.
-func (s *System) CXLMemoryUsed() int64 { return s.c.Dev.UsedBytes() }
+// CXLMemoryUsed returns the shared pool occupancy in bytes (healthy
+// devices only; identical to the single device's occupancy when
+// Replication.Devices is unset).
+func (s *System) CXLMemoryUsed() int64 { return s.c.Pool.UsedBytes() }
+
+// Devices returns the CXL pool size (1 unless Replication.Devices).
+func (s *System) Devices() int { return s.c.Pool.N() }
+
+// checkDevice validates a pool device index.
+func (s *System) checkDevice(dev int) error {
+	if dev < 0 || dev >= s.c.Pool.N() {
+		return fmt.Errorf("cxlfork: device %d out of range [0,%d)", dev, s.c.Pool.N())
+	}
+	return nil
+}
+
+// FailDevice permanently kills pool device dev right now — the manual
+// counterpart of a DeviceLoss fault rule. Every arena and frame on the
+// device becomes unrecoverable; later allocations against it return
+// ErrDeviceFailed. There is no revive: expander loss is terminal
+// (DESIGN.md §12).
+func (s *System) FailDevice(dev int) error {
+	if err := s.checkDevice(dev); err != nil {
+		return err
+	}
+	s.c.Pool.Fail(dev)
+	return nil
+}
+
+// DeviceFailed reports whether pool device dev has been killed by a
+// DeviceLoss fault or FailDevice.
+func (s *System) DeviceFailed(dev int) bool {
+	return dev >= 0 && dev < s.c.Pool.N() && s.c.Pool.Failed(dev)
+}
 
 // FunctionNames lists the built-in workload suite (Table 1).
 func FunctionNames() []string {
@@ -570,6 +677,10 @@ const (
 	// CorruptBlob flips one seeded-random bit in the matched
 	// checkpoint's serialized state.
 	CorruptBlob = faultinject.CorruptBlob
+	// DeviceLoss permanently fails pool device Rule.Device at virtual
+	// offset Rule.At — clock-driven, not step-matched. Checkpoint
+	// replicas on surviving devices stay restorable (DESIGN.md §12).
+	DeviceLoss = faultinject.DeviceLoss
 )
 
 // Step boundaries a FaultRule can match (empty Step matches any).
@@ -585,12 +696,14 @@ const (
 const AnyNode = faultinject.AnyNode
 
 // FaultRule describes one injectable fault; see the field docs on
-// faultinject.Rule. Rules fire deterministically by occurrence count.
+// faultinject.Rule. Rules fire deterministically by occurrence count,
+// except DeviceLoss rules, which fire on the virtual clock at offset
+// Rule.At from injection.
 type FaultRule = faultinject.Rule
 
 // InjectFault registers a fault rule on the system's plan. Faults fire
-// at step boundaries during Checkpoint/Restore and replay identically
-// under the same Config.Seed.
+// at step boundaries during Checkpoint/Restore (DeviceLoss: on the
+// virtual clock) and replay identically under the same Config.Seed.
 func (s *System) InjectFault(r FaultRule) { s.c.Faults.Inject(r) }
 
 // RecoverStats reports what a RecoverDevice pass reclaimed.

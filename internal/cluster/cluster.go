@@ -13,11 +13,15 @@ import (
 	"cxlfork/internal/trace"
 )
 
-// Cluster is a set of nodes sharing a CXL device and root filesystem.
+// Cluster is a set of nodes sharing a CXL device pool and root
+// filesystem. Dev is pool device 0 — the ingest device every mechanism
+// checkpoints into; the replica layer fans sealed images out to the
+// rest of the pool.
 type Cluster struct {
 	P     params.Params
 	Eng   *des.Engine
 	Dev   *cxl.Device
+	Pool  *cxl.DevicePool
 	FS    *fsim.FS
 	CXLFS *fsim.CXLFS
 	Nodes []*kernel.OS
@@ -49,12 +53,14 @@ func New(p params.Params, n int) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
 	eng := des.NewEngine()
-	dev := cxl.NewDevice(p)
+	pool := cxl.NewDevicePool(p, p.CXLDevices)
+	dev := pool.Device(0)
 	fs := fsim.NewFS()
 	c := &Cluster{
 		P:      p,
 		Eng:    eng,
 		Dev:    dev,
+		Pool:   pool,
 		FS:     fs,
 		CXLFS:  fsim.NewCXLFS(dev),
 		Faults: faultinject.NewPlan(eng, 1),
@@ -64,7 +70,7 @@ func New(p params.Params, n int) (*Cluster, error) {
 	}
 	if p.TelemetryEnabled {
 		c.Telem = telemetry.New(p.SampleEvery, p.TelemetrySeriesCap)
-		dev.RegisterTelemetry(c.Telem)
+		pool.RegisterTelemetry(c.Telem)
 		c.Faults.RegisterTelemetry(c.Telem)
 	}
 	for i := 0; i < n; i++ {

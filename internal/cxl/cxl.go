@@ -20,10 +20,20 @@ const Nil Offset = 0
 // ErrDeviceFull is returned when the device cannot hold more data.
 var ErrDeviceFull = errors.New("cxl: device full")
 
+// ErrDeviceFailed is returned when an operation touches a device that a
+// DeviceLoss fault has permanently failed. Unlike node crashes, device
+// loss is not transient: the data is gone and only the replica layer
+// can recover it.
+var ErrDeviceFailed = errors.New("cxl: device failed")
+
 // Device is one CXL memory device shared by all nodes on the fabric.
 type Device struct {
-	p    params.Params
-	pool *memsim.Pool
+	p        params.Params
+	pool     *memsim.Pool
+	index    int
+	name     string
+	capacity int64
+	failed   bool
 
 	arenas    map[string]*Arena
 	metaBytes int64
@@ -40,23 +50,53 @@ type Device struct {
 
 // NewDevice creates a device with capacity p.CXLBytes.
 func NewDevice(p params.Params) *Device {
+	return NewDeviceSized(p, 0, p.CXLBytes)
+}
+
+// NewDeviceSized creates device number index of a pool with the given
+// capacity. Device 0 keeps the historical pool name "cxl" so
+// single-device telemetry and traces are unchanged.
+func NewDeviceSized(p params.Params, index int, capacity int64) *Device {
+	name := "cxl"
+	if index > 0 {
+		name = fmt.Sprintf("cxl%d", index)
+	}
 	return &Device{
-		p:      p,
-		pool:   memsim.NewPool("cxl", memsim.CXL, p.CXLBytes, p.PageSize),
-		arenas: make(map[string]*Arena),
-		dedup:  make(map[uint64][]dedupEntry),
+		p:        p,
+		pool:     memsim.NewPool(name, memsim.CXL, capacity, p.PageSize),
+		index:    index,
+		name:     name,
+		capacity: capacity,
+		arenas:   make(map[string]*Arena),
+		dedup:    make(map[uint64][]dedupEntry),
 	}
 }
 
 // Pool returns the device's shared frame pool.
 func (d *Device) Pool() *memsim.Pool { return d.pool }
 
+// Index returns the device's position in its pool (0 for a standalone
+// device).
+func (d *Device) Index() int { return d.index }
+
+// Name returns the device name ("cxl" for device 0, "cxlN" otherwise).
+func (d *Device) Name() string { return d.name }
+
+// Fail marks the device permanently failed: every arena and frame on it
+// is unrecoverable, and all further allocation or restore attempts
+// return ErrDeviceFailed. Occupancy accounting is left in place — a
+// dead expander does not give its capacity back.
+func (d *Device) Fail() { d.failed = true }
+
+// Failed reports whether the device has been lost.
+func (d *Device) Failed() bool { return d.failed }
+
 // UsedBytes returns total device occupancy: data frames plus arena
 // metadata.
 func (d *Device) UsedBytes() int64 { return d.pool.UsedBytes() + d.metaBytes }
 
 // CapacityBytes returns the device capacity.
-func (d *Device) CapacityBytes() int64 { return d.p.CXLBytes }
+func (d *Device) CapacityBytes() int64 { return d.capacity }
 
 // Utilization returns occupancy in [0,1].
 func (d *Device) Utilization() float64 {
@@ -70,6 +110,9 @@ func (d *Device) MetaBytes() int64 { return d.metaBytes }
 // NewArena creates a named checkpoint arena on the device. Names must be
 // unique among live arenas (checkpoint IDs provide this).
 func (d *Device) NewArena(name string) (*Arena, error) {
+	if d.failed {
+		return nil, fmt.Errorf("%w: %s", ErrDeviceFailed, d.name)
+	}
 	if _, ok := d.arenas[name]; ok {
 		return nil, fmt.Errorf("cxl: arena %q already exists", name)
 	}
@@ -134,6 +177,9 @@ func (d *Device) Recover() RecoverStats {
 
 // charge reserves metadata bytes on the device.
 func (d *Device) charge(n int64) error {
+	if d.failed {
+		return fmt.Errorf("%w: %s", ErrDeviceFailed, d.name)
+	}
 	if d.UsedBytes()+n > d.CapacityBytes() {
 		return fmt.Errorf("%w: need %d more bytes, used %d of %d",
 			ErrDeviceFull, n, d.UsedBytes(), d.CapacityBytes())

@@ -1,6 +1,8 @@
 package cxl
 
 import (
+	"fmt"
+
 	"cxlfork/internal/des"
 	"cxlfork/internal/memsim"
 )
@@ -64,6 +66,9 @@ func (d *Device) DedupAlloc(src *memsim.Frame) (*memsim.Frame, bool, error) {
 // image's frames from a recorded token list — re-deduping against any
 // surviving twins — without a live parent address space to copy from.
 func (d *Device) AllocToken(tok uint64) (*memsim.Frame, bool, error) {
+	if d.failed {
+		return nil, false, fmt.Errorf("%w: %s", ErrDeviceFailed, d.name)
+	}
 	h := fnv1aToken(tok)
 	entries := d.dedup[h]
 	live := entries[:0]

@@ -1,0 +1,154 @@
+package cxl
+
+import (
+	"fmt"
+
+	"cxlfork/internal/des"
+	"cxlfork/internal/params"
+	"cxlfork/internal/telemetry"
+)
+
+// DevicePool is the multi-device view of the fabric-attached memory:
+// N independent expander devices whose combined capacity is p.CXLBytes,
+// split evenly. Each device has its own frame pool, arena namespace,
+// and dedup index — content dedup is intra-device, because a frame
+// reference cannot span expanders. A pool of one device is byte-for-byte
+// the original single-device model.
+//
+// Devices fail permanently (DeviceLoss faults); the pool only tracks
+// the failed bit — recovering the data is the replica manager's job.
+type DevicePool struct {
+	p    params.Params
+	devs []*Device
+}
+
+// NewDevicePool creates a pool of n devices (n <= 0 is treated as 1).
+// With n == 1 the single device is exactly NewDevice(p); with n > 1
+// each device gets a page-aligned 1/n share of p.CXLBytes.
+func NewDevicePool(p params.Params, n int) *DevicePool {
+	if n <= 0 {
+		n = 1
+	}
+	pool := &DevicePool{p: p, devs: make([]*Device, n)}
+	if n == 1 {
+		pool.devs[0] = NewDevice(p)
+		return pool
+	}
+	ps := int64(p.PageSize)
+	per := (p.CXLBytes/int64(n) + ps - 1) / ps * ps
+	for i := range pool.devs {
+		pool.devs[i] = NewDeviceSized(p, i, per)
+	}
+	return pool
+}
+
+// N returns the number of devices in the pool (healthy or not).
+func (dp *DevicePool) N() int { return len(dp.devs) }
+
+// Device returns device i. Out-of-range panics: device indices come
+// from placement decisions and are never guessed.
+func (dp *DevicePool) Device(i int) *Device {
+	if i < 0 || i >= len(dp.devs) {
+		panic(fmt.Sprintf("cxl: device index %d out of range (pool of %d)", i, len(dp.devs)))
+	}
+	return dp.devs[i]
+}
+
+// Fail marks device i permanently failed.
+func (dp *DevicePool) Fail(i int) { dp.Device(i).Fail() }
+
+// Failed reports whether device i has been lost.
+func (dp *DevicePool) Failed(i int) bool { return dp.Device(i).Failed() }
+
+// Healthy returns the number of surviving devices.
+func (dp *DevicePool) Healthy() int {
+	n := 0
+	for _, d := range dp.devs {
+		if !d.failed {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachHealthy visits every surviving device in index order.
+func (dp *DevicePool) ForEachHealthy(fn func(*Device)) {
+	for _, d := range dp.devs {
+		if !d.failed {
+			fn(d)
+		}
+	}
+}
+
+// UsedBytes returns total occupancy across surviving devices. Lost
+// devices do not count: their contents are gone, not reclaimable.
+func (dp *DevicePool) UsedBytes() int64 {
+	var n int64
+	dp.ForEachHealthy(func(d *Device) { n += d.UsedBytes() })
+	return n
+}
+
+// CapacityBytes returns total capacity across surviving devices.
+func (dp *DevicePool) CapacityBytes() int64 {
+	var n int64
+	dp.ForEachHealthy(func(d *Device) { n += d.CapacityBytes() })
+	return n
+}
+
+// Utilization returns aggregate occupancy of the surviving devices in
+// [0,1], or 1 when every device is gone.
+func (dp *DevicePool) Utilization() float64 {
+	c := dp.CapacityBytes()
+	if c == 0 {
+		return 1
+	}
+	return float64(dp.UsedBytes()) / float64(c)
+}
+
+// MaxUtilization returns the occupancy of the fullest surviving device
+// — the watermark signal for per-device capacity pressure.
+func (dp *DevicePool) MaxUtilization() float64 {
+	var m float64
+	dp.ForEachHealthy(func(d *Device) {
+		if u := d.Utilization(); u > m {
+			m = u
+		}
+	})
+	return m
+}
+
+// RegisterTelemetry registers device telemetry for the whole pool.
+// Device 0 keeps its historical unlabeled series (cxl_used_bytes,
+// cxl_utilization, ...) so the SLO engine and single-device dashboards
+// are unchanged; pools with more than one device add per-device labeled
+// occupancy gauges and aggregate pool series on top.
+func (dp *DevicePool) RegisterTelemetry(reg *telemetry.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	dp.devs[0].RegisterTelemetry(reg)
+	if len(dp.devs) == 1 {
+		return
+	}
+	for _, d := range dp.devs {
+		d := d
+		dev := telemetry.L("device", d.Name())
+		reg.Gauge("cxl_device_used_bytes", "bytes allocated on one pool device",
+			func(des.Time) float64 { return float64(d.UsedBytes()) }, dev)
+		reg.Gauge("cxl_device_utilization", "one pool device's occupancy as a fraction of its capacity",
+			func(des.Time) float64 { return d.Utilization() }, dev)
+		reg.Gauge("cxl_device_failed", "1 when the device has been permanently lost",
+			func(des.Time) float64 {
+				if d.Failed() {
+					return 1
+				}
+				return 0
+			}, dev)
+	}
+	reg.Gauge("cxl_pool_devices_healthy", "surviving devices in the pool",
+		func(des.Time) float64 { return float64(dp.Healthy()) })
+	reg.Gauge("cxl_pool_utilization", "aggregate occupancy across surviving pool devices",
+		func(des.Time) float64 { return dp.Utilization() })
+	reg.Gauge("cxl_pool_max_utilization", "occupancy of the fullest surviving pool device",
+		func(des.Time) float64 { return dp.MaxUtilization() })
+}

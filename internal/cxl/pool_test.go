@@ -1,0 +1,125 @@
+package cxl
+
+import (
+	"errors"
+	"testing"
+
+	"cxlfork/internal/params"
+)
+
+func poolOf(t *testing.T, n int) *DevicePool {
+	t.Helper()
+	p := params.Default()
+	p.CXLBytes = 3 << 20 // 768 pages total
+	return NewDevicePool(p, n)
+}
+
+func TestPoolOfOneIsTheSingleDevice(t *testing.T) {
+	p := params.Default()
+	p.CXLBytes = 1 << 20
+	pool := NewDevicePool(p, 1)
+	single := NewDevice(p)
+	if pool.N() != 1 {
+		t.Fatalf("N = %d", pool.N())
+	}
+	d := pool.Device(0)
+	if d.CapacityBytes() != single.CapacityBytes() {
+		t.Fatalf("capacity %d != single-device %d", d.CapacityBytes(), single.CapacityBytes())
+	}
+	if d.Name() != "cxl" || d.Index() != 0 {
+		t.Fatalf("device 0 identity = %q/%d, want cxl/0", d.Name(), d.Index())
+	}
+	if NewDevicePool(p, 0).N() != 1 {
+		t.Fatal("n<=0 should clamp to 1")
+	}
+}
+
+func TestPoolSplitsCapacityPageAligned(t *testing.T) {
+	pool := poolOf(t, 3)
+	ps := int64(params.Default().PageSize)
+	var total int64
+	for i := 0; i < pool.N(); i++ {
+		c := pool.Device(i).CapacityBytes()
+		if c%ps != 0 {
+			t.Fatalf("device %d capacity %d not page-aligned", i, c)
+		}
+		total += c
+	}
+	// Device 0 keeps the historical single-device name so its telemetry
+	// series stay stable; later devices are numbered.
+	if pool.Device(0).Name() != "cxl" || pool.Device(1).Name() != "cxl1" {
+		t.Fatalf("device names = %q,%q", pool.Device(0).Name(), pool.Device(1).Name())
+	}
+	if total < 3<<20 {
+		t.Fatalf("split lost capacity: %d < %d", total, 3<<20)
+	}
+	if pool.CapacityBytes() != total {
+		t.Fatalf("CapacityBytes = %d, want %d", pool.CapacityBytes(), total)
+	}
+}
+
+func TestFailedDeviceRejectsAllocations(t *testing.T) {
+	pool := poolOf(t, 2)
+	d := pool.Device(1)
+	a, err := d.NewArena("pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.MustAlloc("x", 64)
+	if err := a.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool.Fail(1)
+	if !pool.Failed(1) || pool.Healthy() != 1 {
+		t.Fatalf("failed=%v healthy=%d", pool.Failed(1), pool.Healthy())
+	}
+	if _, err := d.NewArena("post"); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("NewArena on dead device: %v", err)
+	}
+	if _, _, err := d.AllocToken(42); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("AllocToken on dead device: %v", err)
+	}
+}
+
+func TestPoolAggregatesSkipDeadDevices(t *testing.T) {
+	pool := poolOf(t, 3)
+	for i := 0; i < 3; i++ {
+		a, err := pool.Device(i).NewArena("fill")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.MustAlloc("blob", 4096)
+		if err := a.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used, cap3 := pool.UsedBytes(), pool.CapacityBytes()
+	pool.Fail(2)
+	if pool.UsedBytes() >= used {
+		t.Fatalf("used %d should drop after loss (was %d)", pool.UsedBytes(), used)
+	}
+	if pool.CapacityBytes() >= cap3 {
+		t.Fatalf("capacity %d should drop after loss (was %d)", pool.CapacityBytes(), cap3)
+	}
+	if pool.MaxUtilization() <= 0 {
+		t.Fatal("max utilization should reflect surviving devices")
+	}
+	n := 0
+	pool.ForEachHealthy(func(*Device) { n++ })
+	if n != 2 {
+		t.Fatalf("ForEachHealthy visited %d, want 2", n)
+	}
+}
+
+func TestAllDeadPoolReportsFullUtilization(t *testing.T) {
+	pool := poolOf(t, 2)
+	pool.Fail(0)
+	pool.Fail(1)
+	if u := pool.Utilization(); u != 1 {
+		t.Fatalf("all-dead utilization = %v, want 1", u)
+	}
+	if pool.Healthy() != 0 {
+		t.Fatalf("healthy = %d", pool.Healthy())
+	}
+}

@@ -54,6 +54,11 @@ type TelemetryTraceConfig struct {
 	// LowWatermark, when non-zero, overrides the capacity manager's
 	// reclaim floor so the objective can sit between the watermarks.
 	LowWatermark float64
+	// Devices, when > 1, splits the device into a pool of that many
+	// expanders; ReplicationFactor, when > 0, replicates each
+	// checkpoint onto that many of them (DESIGN.md §12).
+	Devices           int
+	ReplicationFactor int
 }
 
 // TelemetryTraceResult is one telemetry-enabled replay: the sampled
@@ -121,6 +126,12 @@ func TelemetryTrace(p params.Params, cfg TelemetryTraceConfig) (*TelemetryTraceR
 	}
 	if cfg.LowWatermark > 0 {
 		p.CXLLowWatermark = cfg.LowWatermark
+	}
+	if cfg.Devices > 0 {
+		p.CXLDevices = cfg.Devices
+	}
+	if cfg.ReplicationFactor > 0 {
+		p.ReplicationFactor = cfg.ReplicationFactor
 	}
 	out.DeviceBytes = p.CXLBytes
 

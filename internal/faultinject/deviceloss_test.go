@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"testing"
+
+	"cxlfork/internal/des"
+)
+
+func TestDeviceLossFiresAtOffset(t *testing.T) {
+	eng := des.NewEngine()
+	p := NewPlan(eng, 1)
+	p.Inject(Rule{Kind: DeviceLoss, Device: 1, At: 50})
+	p.Inject(Rule{Kind: DeviceLoss, Device: 2, At: 80})
+
+	var lost []int
+	var when []des.Time
+	p.ArmDeviceLoss(func(dev int) {
+		lost = append(lost, dev)
+		when = append(when, eng.Now())
+	})
+	eng.Run()
+
+	if len(lost) != 2 || lost[0] != 1 || lost[1] != 2 {
+		t.Fatalf("lost order = %v, want [1 2]", lost)
+	}
+	if when[0] != 50 || when[1] != 80 {
+		t.Fatalf("loss times = %v, want [50 80]", when)
+	}
+	if !p.DeviceLost(1) || !p.DeviceLost(2) || p.DeviceLost(0) {
+		t.Fatal("DeviceLost state wrong")
+	}
+	if p.LostDevices() != 2 {
+		t.Fatalf("LostDevices = %d, want 2", p.LostDevices())
+	}
+	if got := p.Counters.Injected.Value(); got != 2 {
+		t.Fatalf("Injected = %d, want 2", got)
+	}
+}
+
+func TestDeviceLossOffsetIsRelativeToArming(t *testing.T) {
+	eng := des.NewEngine()
+	p := NewPlan(eng, 1)
+	p.Inject(Rule{Kind: DeviceLoss, Device: 0, At: 10})
+
+	eng.Advance(100) // setup time elapses before the porter arms the plan
+	var at des.Time
+	p.ArmDeviceLoss(func(int) { at = eng.Now() })
+	eng.Run()
+	if at != 110 {
+		t.Fatalf("loss at %d, want 110 (arming time + offset)", at)
+	}
+}
+
+func TestDeviceLossDuplicateAndIdempotentArming(t *testing.T) {
+	eng := des.NewEngine()
+	p := NewPlan(eng, 1)
+	p.Inject(Rule{Kind: DeviceLoss, Device: 0, At: 5})
+	p.Inject(Rule{Kind: DeviceLoss, Device: 0, At: 7}) // same device again
+
+	n := 0
+	p.ArmDeviceLoss(func(int) { n++ })
+	p.ArmDeviceLoss(func(int) { n += 100 }) // second arming is a no-op
+	eng.Run()
+
+	if n != 1 {
+		t.Fatalf("onLoss fired %d times, want 1 (per-device dedup, single arming)", n)
+	}
+	if p.LostDevices() != 1 {
+		t.Fatalf("LostDevices = %d, want 1", p.LostDevices())
+	}
+}
+
+func TestDeviceLossNilPlanAndReseed(t *testing.T) {
+	var nilPlan *Plan
+	nilPlan.ArmDeviceLoss(nil) // must not panic
+	if nilPlan.DeviceLost(0) || nilPlan.LostDevices() != 0 {
+		t.Fatal("nil plan should report no losses")
+	}
+
+	eng := des.NewEngine()
+	p := NewPlan(eng, 1)
+	p.Inject(Rule{Kind: DeviceLoss, Device: 3, At: 1})
+	p.ArmDeviceLoss(nil)
+	eng.Run()
+	if !p.DeviceLost(3) {
+		t.Fatal("device 3 should be lost")
+	}
+
+	p.Reseed(2)
+	if p.DeviceLost(3) || p.LostDevices() != 0 {
+		t.Fatal("Reseed should clear lost devices")
+	}
+	fired := false
+	p.ArmDeviceLoss(func(int) { fired = true }) // re-armed after Reseed
+	eng.Run()
+	if !fired {
+		t.Fatal("Reseed should re-arm DeviceLoss scheduling")
+	}
+}

@@ -27,6 +27,10 @@ const (
 	// CorruptBlob flips one seeded-random bit in the checkpoint record
 	// being written at the step (consulted via Corrupt, not At).
 	CorruptBlob
+	// DeviceLoss permanently fails one CXL pool device at virtual time
+	// Rule.At (relative to arming): every arena and frame on it is
+	// unrecoverable. Scheduled by ArmDeviceLoss, not consulted via At.
+	DeviceLoss
 )
 
 // String names the kind for error messages and logs.
@@ -40,6 +44,8 @@ func (k Kind) String() string {
 		return "fabric-degrade"
 	case CorruptBlob:
 		return "corrupt-blob"
+	case DeviceLoss:
+		return "device-loss"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -89,6 +95,13 @@ type Rule struct {
 	Window des.Time
 	// Factor is the latency multiplier for FabricDegrade (>= 1).
 	Factor float64
+	// Device is the pool device index a DeviceLoss rule kills. Ignored
+	// by the other kinds.
+	Device int
+	// At is the virtual-time offset, relative to when ArmDeviceLoss is
+	// called, at which a DeviceLoss rule fires. Ignored by the other
+	// kinds (they are occurrence-counted, not clock-driven).
+	At des.Time
 }
 
 type ruleState struct {
@@ -139,6 +152,10 @@ type Plan struct {
 	rules []*ruleState
 	down  map[int]bool
 
+	lostDevs map[int]bool
+	onLoss   func(dev int)
+	armed    bool
+
 	slowUntil  des.Time
 	slowFactor float64
 
@@ -152,10 +169,11 @@ type Plan struct {
 // flips); when rules fire is purely occurrence-counted.
 func NewPlan(eng *des.Engine, seed int64) *Plan {
 	return &Plan{
-		eng:  eng,
-		rng:  rand.New(rand.NewSource(seed)),
-		seed: seed,
-		down: make(map[int]bool),
+		eng:      eng,
+		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
+		down:     make(map[int]bool),
+		lostDevs: make(map[int]bool),
 	}
 }
 
@@ -172,6 +190,9 @@ func (p *Plan) Reseed(seed int64) {
 		r.hits, r.fired = 0, 0
 	}
 	p.down = make(map[int]bool)
+	p.lostDevs = make(map[int]bool)
+	p.armed = false
+	p.onLoss = nil
 	p.slowUntil, p.slowFactor = 0, 0
 	p.Counters = metrics.FaultCounters{}
 }
@@ -184,7 +205,9 @@ func (p *Plan) Seed() int64 {
 	return p.seed
 }
 
-// Inject adds a rule to the plan.
+// Inject adds a rule to the plan. A DeviceLoss rule injected after
+// ArmDeviceLoss has run is scheduled immediately, its At offset
+// relative to injection time.
 func (p *Plan) Inject(r Rule) {
 	if p == nil {
 		panic("faultinject: Inject on nil plan")
@@ -192,7 +215,11 @@ func (p *Plan) Inject(r Rule) {
 	if r.Kind == FabricDegrade && r.Factor < 1 {
 		panic(fmt.Sprintf("faultinject: FabricDegrade factor %v < 1", r.Factor))
 	}
-	p.rules = append(p.rules, &ruleState{Rule: r})
+	rs := &ruleState{Rule: r}
+	p.rules = append(p.rules, rs)
+	if r.Kind == DeviceLoss && p.armed {
+		p.scheduleLoss(rs)
+	}
 }
 
 // At is consulted at a step boundary on a node. It returns nil when no
@@ -208,7 +235,10 @@ func (p *Plan) At(step string, node int) error {
 		return fmt.Errorf("faultinject: node %d is down at %q: %w", node, step, rfork.ErrNodeDown)
 	}
 	for _, r := range p.rules {
-		if r.Kind == CorruptBlob || !r.matches(step, node, "") {
+		// CorruptBlob has its own entry point; DeviceLoss is clock-driven
+		// (ArmDeviceLoss), not a step-boundary fault — neither may be
+		// consumed here.
+		if r.Kind == CorruptBlob || r.Kind == DeviceLoss || !r.matches(step, node, "") {
 			continue
 		}
 		if !r.arm() {
@@ -248,6 +278,51 @@ func (p *Plan) Corrupt(step string, node int, target string, blob []byte) bool {
 		return true
 	}
 	return false
+}
+
+// ArmDeviceLoss schedules every DeviceLoss rule on the virtual clock:
+// each fires once at now + Rule.At, marks its device lost, counts an
+// injected fault, and invokes onLoss with the device index (the porter
+// wires onLoss to fail the pool device and prune replicas). Arming is
+// idempotent per plan lifetime; Reseed re-arms.
+func (p *Plan) ArmDeviceLoss(onLoss func(dev int)) {
+	if p == nil || p.armed {
+		return
+	}
+	p.armed = true
+	p.onLoss = onLoss
+	for _, r := range p.rules {
+		if r.Kind == DeviceLoss {
+			p.scheduleLoss(r)
+		}
+	}
+}
+
+// scheduleLoss puts one DeviceLoss rule on the clock, At from now.
+func (p *Plan) scheduleLoss(r *ruleState) {
+	p.eng.At(p.eng.Now()+r.At, func() {
+		if !r.arm() || p.lostDevs[r.Device] {
+			return
+		}
+		p.lostDevs[r.Device] = true
+		p.Counters.Injected.Inc()
+		if p.onLoss != nil {
+			p.onLoss(r.Device)
+		}
+	})
+}
+
+// DeviceLost reports whether pool device dev has been lost.
+func (p *Plan) DeviceLost(dev int) bool {
+	return p != nil && p.lostDevs[dev]
+}
+
+// LostDevices returns how many pool devices have been lost.
+func (p *Plan) LostDevices() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.lostDevs)
 }
 
 // CrashNode marks a node dead immediately (outside any step boundary).

@@ -13,7 +13,7 @@ func (p *Plan) ActiveFaults() int {
 	if p == nil {
 		return 0
 	}
-	n := len(p.down)
+	n := len(p.down) + len(p.lostDevs)
 	if p.eng.Now() < p.slowUntil && p.slowFactor >= 1 {
 		n++
 	}
@@ -34,4 +34,8 @@ func (p *Plan) RegisterTelemetry(reg *telemetry.Registry) {
 		func(des.Time) float64 { return float64(p.Counters.Retries.Value()) })
 	reg.CounterFunc("faultinject_fallbacks_total", "degradations to a slower path after a fault",
 		func(des.Time) float64 { return float64(p.Counters.Fallbacks.Value()) })
+	reg.CounterFunc("faultinject_retry_exhausted_total", "requests whose retry budget ran out",
+		func(des.Time) float64 { return float64(p.Counters.RetryExhausted.Value()) })
+	reg.Gauge("faultinject_lost_devices", "pool devices permanently failed by DeviceLoss rules",
+		func(des.Time) float64 { return float64(p.LostDevices()) })
 }

@@ -244,6 +244,34 @@ type FaultCounters struct {
 	// RecoveredBytes counts bytes reclaimed by Device.Recover passes
 	// garbage-collecting torn (unsealed) checkpoint arenas.
 	RecoveredBytes Counter
+	// RetryExhausted counts requests whose per-request retry budget ran
+	// out — kept distinct from Fallbacks so availability reports can
+	// separate "degraded by policy" from "degraded because retrying
+	// stopped being worth it".
+	RetryExhausted Counter
+}
+
+// ReplicaCounters aggregates the replication manager's accounting: how
+// many replicas were placed, shed under capacity pressure, rebuilt by
+// the anti-entropy repair loop, and how many images were lost outright
+// when every replica's device failed.
+type ReplicaCounters struct {
+	// Placed counts replica arenas created by placement (initial and
+	// repair placements both count).
+	Placed Counter
+	// RepairCopies counts replicas rebuilt by the repair loop.
+	RepairCopies Counter
+	// RepairedPages counts pages copied by the repair loop.
+	RepairedPages Counter
+	// Failovers counts restores served by a non-preferred replica after
+	// probing one or more dead devices.
+	Failovers Counter
+	// Shed counts replicas dropped by replica-aware eviction (capacity
+	// pressure sheds redundancy before it evicts whole images).
+	Shed Counter
+	// LostImages counts images that became unrestorable because their
+	// last healthy replica's device failed.
+	LostImages Counter
 }
 
 // DedupCounters aggregates the content-addressed frame dedup cache's

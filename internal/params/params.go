@@ -215,6 +215,36 @@ type Params struct {
 	// device occupancy on the virtual clock while a trace replays.
 	CXLReclaimPeriod des.Time
 
+	// ---- Replication and failover (DESIGN.md §12) ----
+
+	// CXLDevices is the number of devices in the fabric-attached pool.
+	// The total CXLBytes capacity is split evenly across them. 1 keeps
+	// the original single-device model byte-for-byte.
+	CXLDevices int
+	// ReplicationFactor is the number of devices each sealed checkpoint
+	// is placed on (K). Clamped to the device count; 1 disables
+	// replication.
+	ReplicationFactor int
+	// RepairPeriod is the anti-entropy loop's virtual-time tick: each
+	// tick re-replicates under-replicated images within the bandwidth
+	// budget below.
+	RepairPeriod des.Time
+	// RepairBandwidthPages caps how many pages one repair tick may copy,
+	// modeling the fabric bandwidth reserved for background repair.
+	RepairBandwidthPages int
+	// RestoreRetryBudget is the per-request retry budget across replica
+	// failovers and node-down retries; exhausting it degrades the
+	// request to a scratch cold start and counts retry_exhausted.
+	RestoreRetryBudget int
+	// RestoreRetryBackoff is the base of the capped exponential backoff
+	// charged (in virtual time) before each retry.
+	RestoreRetryBackoff des.Time
+	// RestoreRetryBackoffCap bounds the exponential backoff.
+	RestoreRetryBackoffCap des.Time
+	// ReplicaFailoverTimeout is the virtual-time cost of probing one dead
+	// replica before failing over to the next device on the list.
+	ReplicaFailoverTimeout des.Time
+
 	// ---- Telemetry and SLOs (DESIGN.md §11) ----
 
 	// TelemetryEnabled turns on the virtual-time metric sampler: every
@@ -323,6 +353,15 @@ func Default() Params {
 		CXLHighWatermark: 0.90,
 		CXLLowWatermark:  0.75,
 		CXLReclaimPeriod: 1 * des.Second,
+
+		CXLDevices:             1,
+		ReplicationFactor:      1,
+		RepairPeriod:           500 * des.Millisecond,
+		RepairBandwidthPages:   4096,
+		RestoreRetryBudget:     3,
+		RestoreRetryBackoff:    10 * des.Millisecond,
+		RestoreRetryBackoffCap: 160 * des.Millisecond,
+		ReplicaFailoverTimeout: 2 * des.Millisecond,
 
 		TelemetryEnabled:   false,
 		SampleEvery:        100 * des.Millisecond,

@@ -9,6 +9,7 @@ import (
 	"cxlfork/internal/des"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
+	"cxlfork/internal/replica"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/trace"
 )
@@ -144,15 +145,69 @@ func (p *Porter) admitScore(fn string, need int64) float64 {
 	}
 }
 
-// maybeReclaim runs an eviction pass when device occupancy is at or
-// above the high watermark, driving it toward the low watermark. It is
-// called on every arrival and from the background reclaim tick.
+// maybeReclaim runs an eviction pass when any healthy device's
+// occupancy is at or above the high watermark, driving the pool toward
+// the low watermark. It is called on every arrival and from the
+// background reclaim tick. With replication active, surplus replicas
+// are shed first (DESIGN.md §12): dropping a redundant copy costs only
+// durability the repair loop can win back, while evicting a whole
+// image costs cold starts.
 func (p *Porter) maybeReclaim() {
-	dev := p.c.Dev
-	if dev.Utilization() < p.c.P.CXLHighWatermark {
+	pool := p.c.Pool
+	if pool.MaxUtilization() < p.c.P.CXLHighWatermark {
 		return
 	}
-	p.reclaim(dev.UsedBytes() - int64(float64(dev.CapacityBytes())*p.c.P.CXLLowWatermark))
+	p.shedForPressure()
+	if pool.MaxUtilization() < p.c.P.CXLHighWatermark {
+		return
+	}
+	p.reclaim(pool.UsedBytes() - int64(float64(pool.CapacityBytes())*p.c.P.CXLLowWatermark))
+}
+
+// shedForPressure trims replication before whole-image eviction: on
+// every healthy device at or above the high watermark it repeatedly
+// sheds the replica of the lowest-valued image that still has more
+// than one healthy copy, until the device is back under the watermark
+// or nothing on it may legally be shed. The last healthy copy of an
+// image is never touched — that is eviction's job, and only through
+// the store. Returns the bytes freed.
+func (p *Porter) shedForPressure() int64 {
+	if p.rep == nil {
+		return 0
+	}
+	pool := p.c.Pool
+	now := p.c.Eng.Now()
+	var freed int64
+	for d := 0; d < pool.N(); d++ {
+		if pool.Failed(d) {
+			continue
+		}
+		dev := pool.Device(d)
+		for dev.Utilization() >= p.c.P.CXLHighWatermark {
+			var victimKey, victimFn string
+			var bestScore float64
+			found := false
+			for _, e := range p.store.Entries() {
+				rimg, ok := e.Image.(*replica.Image)
+				if !ok || !p.rep.SheddableOn(rimg.Key(), d) {
+					continue
+				}
+				s := p.evictScore(e)
+				if !found || s < bestScore {
+					victimKey, victimFn, bestScore, found = rimg.Key(), e.Function, s, true
+				}
+			}
+			if !found {
+				break
+			}
+			before := dev.UsedBytes()
+			p.rep.ShedOn(victimKey, d)
+			delta := before - dev.UsedBytes()
+			freed += delta
+			p.c.Trace.EmitFlow(0, trace.CatCapacity, "shed:"+victimFn, now, 0, delta, 0)
+		}
+	}
+	return freed
 }
 
 // reclaim evicts checkpoints in policy order until the device has freed
@@ -173,11 +228,11 @@ func (p *Porter) reclaim(target int64) int64 {
 // publication can never displace a higher-value resident — the
 // admission is refused instead.
 func (p *Porter) reclaimBelow(target int64, floor float64) int64 {
-	dev := p.c.Dev
+	pool := p.c.Pool
 	now := p.c.Eng.Now()
-	start := dev.UsedBytes()
+	start := pool.UsedBytes()
 	p.capc.ReclaimPasses.Inc()
-	for start-dev.UsedBytes() < target && p.store.Len() > 0 {
+	for start-pool.UsedBytes() < target && p.store.Len() > 0 {
 		var victim Entry
 		best := false
 		var bestScore float64
@@ -198,9 +253,9 @@ func (p *Porter) reclaimBelow(target int64, floor float64) int64 {
 		refsBefore := victim.Image.Refs()
 		declared := victim.Image.CXLBytes()
 		pages := victim.Image.Pages()
-		before := dev.UsedBytes()
+		before := pool.UsedBytes()
 		p.store.Reclaim(victim.User, victim.Function)
-		delta := before - dev.UsedBytes()
+		delta := before - pool.UsedBytes()
 		p.capc.Evictions.Inc()
 		p.capc.EvictedBytes.Add(delta)
 		if refsBefore > 1 {
@@ -209,7 +264,7 @@ func (p *Porter) reclaimBelow(target int64, floor float64) int64 {
 		p.res.CkptReclaims += int(delta / int64(p.c.P.PageSize))
 		p.c.Trace.EmitFlow(0, trace.CatCapacity, "evict:"+victim.Function, now, 0, delta, pages)
 	}
-	freed := start - dev.UsedBytes()
+	freed := start - pool.UsedBytes()
 	p.c.Trace.EmitFlow(0, trace.CatCapacity, "reclaim", now, 0, freed, 0)
 	return freed
 }
@@ -219,8 +274,8 @@ func (p *Porter) reclaimBelow(target int64, floor float64) int64 {
 // checkpoint publication hit a full device (frame-pool exhaustion can
 // precede the watermark on metadata-heavy devices).
 func (p *Porter) reclaimToLow() int64 {
-	dev := p.c.Dev
-	target := dev.UsedBytes() - int64(float64(dev.CapacityBytes())*p.c.P.CXLLowWatermark)
+	pool := p.c.Pool
+	target := pool.UsedBytes() - int64(float64(pool.CapacityBytes())*p.c.P.CXLLowWatermark)
 	if target < 1 {
 		target = 1
 	}
@@ -236,7 +291,21 @@ func (p *Porter) reclaimToLow() int64 {
 // the degradation ladder's middle rung (counted in AdmitRefused); the
 // function keeps running on scratch cold starts and asks again later.
 func (p *Porter) admitCheckpoint(fn string, need int64) bool {
-	dev := p.c.Dev
+	pool := p.c.Pool
+	if p.rep != nil {
+		// A replicated publication costs up to one copy per reachable
+		// replica (dedup may make some free, but admission budgets for
+		// the declared footprint).
+		need *= int64(p.rep.EffectiveFactor())
+		// Repair-first invariant (DESIGN.md §12): while surviving images
+		// are under-replicated and the pool is at the high watermark,
+		// the remaining headroom belongs to the repair loop, not to new
+		// publications.
+		if p.rep.UnderReplication() > 0 && pool.MaxUtilization() >= p.c.P.CXLHighWatermark {
+			p.capc.AdmitRefused.Inc()
+			return false
+		}
+	}
 	wm := p.c.P.CXLHighWatermark
 	if p.sloTighten && p.slo.Firing(SLOOccupancyObjective) {
 		// A firing occupancy alert tightens admission to the low
@@ -245,12 +314,12 @@ func (p *Porter) admitCheckpoint(fn string, need int64) bool {
 		// (DESIGN.md §11).
 		wm = p.c.P.CXLLowWatermark
 	}
-	high := int64(float64(dev.CapacityBytes()) * wm)
-	if dev.UsedBytes()+need <= high {
+	high := int64(float64(pool.CapacityBytes()) * wm)
+	if pool.UsedBytes()+need <= high {
 		return true
 	}
-	p.reclaimBelow(dev.UsedBytes()+need-high, p.admitScore(fn, need))
-	if dev.UsedBytes()+need <= high {
+	p.reclaimBelow(pool.UsedBytes()+need-high, p.admitScore(fn, need))
+	if pool.UsedBytes()+need <= high {
 		return true
 	}
 	p.capc.AdmitRefused.Inc()
@@ -358,6 +427,27 @@ func (p *Porter) republish(fn string, node *nodeState, begin, dur des.Time) {
 	dev := p.c.Dev
 	snap.gen++
 	id := fmt.Sprintf("cid-%s-%s#r%d", p.cfg.User, fn, snap.gen)
+	if p.rep != nil {
+		// Replication active: rebuild through the placement manager so
+		// the re-published checkpoint gets the same preference list and
+		// repair coverage as the original (dedup-affine to device 0,
+		// where the rebuilding node writes). A still-pinned predecessor
+		// (clones draining after eviction) or a full pool refuses the
+		// round; the function retries after CheckpointAfter more runs.
+		rimg, err := p.rep.Place(p.replicaKey(fn), id, p.cfg.Mechanism.Name(), snap.tokens, snap.metaBytes, 0)
+		if err != nil {
+			p.capc.AdmitRefused.Inc()
+			return
+		}
+		p.store.Put(p.cfg.User, fn, rimg)
+		p.admits.Inc()
+		if st := p.fns[fn]; st != nil {
+			st.scoreBase = p.agingL
+		}
+		p.capc.Recheckpoints.Inc()
+		p.c.Trace.EmitFlow(node.os.Index, trace.CatCapacity, "recheckpoint", begin, dur, rimg.CXLBytes(), rimg.Pages())
+		return
+	}
 	arena, err := dev.NewArena(id)
 	if err != nil {
 		p.capc.AdmitRefused.Inc()

@@ -13,6 +13,7 @@ import (
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/metrics"
+	"cxlfork/internal/replica"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/telemetry"
 )
@@ -233,6 +234,35 @@ type Results struct {
 	// Recheckpoints counts evicted checkpoints re-published from their
 	// frame-token snapshots.
 	Recheckpoints int64
+	// FailedRestores counts requests that found every replica of their
+	// checkpoint on failed devices — the image is lost and the request
+	// degrades to a scratch cold start.
+	FailedRestores int
+	// RetryExhausted counts requests whose per-request retry budget ran
+	// out (distinct from Fallbacks: policy degradation vs. giving up).
+	RetryExhausted int64
+	// Failovers counts restores served by a non-preferred replica after
+	// probing one or more dead devices.
+	Failovers int64
+	// ReplicasPlaced counts replica arenas created by placement and
+	// repair; ReplicasShed counts replicas dropped under capacity
+	// pressure.
+	ReplicasPlaced int64
+	ReplicasShed   int64
+	// RepairCopies / RepairedPages count the anti-entropy loop's
+	// rebuilt replicas and copied pages.
+	RepairCopies  int64
+	RepairedPages int64
+	// LostImages counts images whose last healthy replica's device
+	// failed.
+	LostImages int64
+	// UnderReplicated is the end-of-run replica deficit.
+	UnderReplicated int64
+	// RepairConverged is how long the last repair took from device loss
+	// to full replication; RepairConvergedOK reports whether such a
+	// convergence happened.
+	RepairConverged   des.Time
+	RepairConvergedOK bool
 
 	// Observability accounting, mirrored from the tracer and telemetry
 	// registry after the run so drop-driven data loss is visible in run
@@ -292,6 +322,15 @@ type Porter struct {
 	// checkpoints, for re-publication after eviction.
 	snaps map[string]*ckptSnapshot
 
+	// rep replicates sealed checkpoints across the device pool; nil on
+	// single-device clusters, where every replication path degenerates
+	// to the original byte-identical behaviour.
+	rep *replica.Manager
+	// backoffLog records every retry/failover backoff charged, in
+	// order — the deterministic schedule the backoff regression test
+	// compares across identically-seeded runs.
+	backoffLog []des.Time
+
 	// telem is the cluster's telemetry registry (nil when disabled);
 	// slo evaluates burn-rate objectives after each sample tick.
 	telem *telemetry.Registry
@@ -328,6 +367,9 @@ func New(c *cluster.Cluster, cfg Config) *Porter {
 		policy: pol,
 		snaps:  make(map[string]*ckptSnapshot),
 	}
+	if c.Pool != nil && c.Pool.N() > 1 {
+		p.rep = replica.New(c.Pool, c.Eng, c.P)
+	}
 	p.parentUplink = des.NewResource(c.Eng, parentUplinkStreams)
 	budget := c.P.NodeDRAMBytes
 	if cfg.NodeBudgetBytes > 0 {
@@ -358,8 +400,67 @@ func (p *Porter) ghostsCompatible() bool {
 }
 
 // retryBackoff is the base virtual-time delay between provisioning
-// retries; it doubles per attempt.
+// retries; it doubles per attempt, capped by
+// params.RestoreRetryBackoffCap.
 const retryBackoff = 10 * des.Millisecond
+
+// backoff returns the capped exponential backoff for retry attempt n
+// (0-based) and appends it to the deterministic backoff log. With the
+// default base (10 ms) and cap (160 ms) the first five attempts match
+// the historical uncapped doubling exactly.
+func (p *Porter) backoff(attempt int) des.Time {
+	base := p.c.P.RestoreRetryBackoff
+	if base <= 0 {
+		base = retryBackoff
+	}
+	limit := p.c.P.RestoreRetryBackoffCap
+	d := base
+	for i := 0; i < attempt; i++ {
+		d <<= 1
+		if limit > 0 && d >= limit {
+			d = limit
+			break
+		}
+	}
+	if limit > 0 && d > limit {
+		d = limit
+	}
+	p.backoffLog = append(p.backoffLog, d)
+	return d
+}
+
+// BackoffSchedule returns every backoff charged so far, in order. Two
+// identically-seeded runs must produce byte-identical schedules.
+func (p *Porter) BackoffSchedule() []des.Time {
+	return append([]des.Time(nil), p.backoffLog...)
+}
+
+// replicaKey is the placement key for fn's checkpoint.
+func (p *Porter) replicaKey(fn string) string { return p.cfg.User + "/" + fn }
+
+// replicate fans a freshly published checkpoint out across the device
+// pool, returning the replicated image in place of the mechanism's.
+// The ingest device (0) is the placement affinity: its replica dedups
+// against the just-written frames, so the preferred copy is free. The
+// mechanism's image is released — its frames survive through the
+// replica arenas' references. Images that cannot be snapshotted (no
+// frame tokens) and placement failures keep the original image.
+func (p *Porter) replicate(fn string, img rfork.Image) rfork.Image {
+	if p.rep == nil {
+		return img
+	}
+	tk, ok := img.(frameTokener)
+	if !ok {
+		return img
+	}
+	rimg, err := p.rep.Place(p.replicaKey(fn), img.ID(), img.Mechanism(),
+		tk.FrameTokens(), tk.MetaBytes(), 0)
+	if err != nil {
+		return img
+	}
+	img.Release()
+	return rimg
+}
 
 // Setup prepares the deployment: registers and warms every function's
 // image files, builds a warmed parent for each function, checkpoints it
@@ -428,6 +529,7 @@ func (p *Porter) provision(s faas.Spec) error {
 		img, err := p.checkpointWithReclaim(in.Task, fmt.Sprintf("cid-%s-%s", p.cfg.User, s.Name))
 		switch {
 		case err == nil:
+			img = p.replicate(s.Name, img)
 			p.snapshot(s.Name, img)
 			p.store.Put(p.cfg.User, s.Name, img)
 			p.admits.Inc()
@@ -446,7 +548,7 @@ func (p *Porter) provision(s faas.Spec) error {
 			st := p.c.Dev.Recover()
 			p.c.Faults.Counters.RecoveredBytes.Add(st.Total())
 			p.c.Faults.Counters.Retries.Inc()
-			p.c.Eng.Advance(retryBackoff << uint(attempt))
+			p.c.Eng.Advance(p.backoff(attempt))
 			continue
 		case errors.Is(err, cxl.ErrDeviceFull), errors.Is(err, memsim.ErrOutOfMemory):
 			// Still no room after the capacity manager's evict-and-retry

@@ -75,6 +75,16 @@ func (r Results) Fingerprint() uint64 {
 	h.word(uint64(r.DeferredBytes))
 	h.word(uint64(r.CkptRefused))
 	h.word(uint64(r.Recheckpoints))
+	h.word(uint64(r.FailedRestores))
+	h.word(uint64(r.RetryExhausted))
+	h.word(uint64(r.Failovers))
+	h.word(uint64(r.ReplicasPlaced))
+	h.word(uint64(r.ReplicasShed))
+	h.word(uint64(r.RepairCopies))
+	h.word(uint64(r.RepairedPages))
+	h.word(uint64(r.LostImages))
+	h.word(uint64(r.UnderReplicated))
+	h.word(uint64(r.RepairConverged))
 	h.recorder(r.Overall)
 	h.recorder(r.ColdLatency)
 

@@ -8,6 +8,7 @@ import (
 	"cxlfork/internal/des"
 	"cxlfork/internal/faultinject"
 	"cxlfork/internal/metrics"
+	"cxlfork/internal/replica"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/trace"
 )
@@ -66,6 +67,28 @@ func (p *Porter) Run(trace []azure.Request) Results {
 		eng.After(p.c.P.ABitResetPeriod, resetTick)
 	}
 
+	// Arm the plan's device-loss schedule: a firing rule permanently
+	// fails the pool device and prunes its replicas, opening the repair
+	// window.
+	p.c.Faults.ArmDeviceLoss(func(dev int) {
+		p.c.Pool.Fail(dev)
+		if p.rep != nil {
+			p.rep.OnDeviceLoss(dev)
+		}
+	})
+
+	// Anti-entropy repair: every RepairPeriod, copy up to the bandwidth
+	// budget of pages toward restoring full replication (DESIGN.md §12).
+	if p.rep != nil && p.c.P.RepairPeriod > 0 {
+		eng.Every(p.c.P.RepairPeriod, func() bool {
+			if eng.Now() >= base+last {
+				return false
+			}
+			p.rep.RepairTick()
+			return true
+		})
+	}
+
 	// Background capacity reclaim: re-check the device watermarks every
 	// CXLReclaimPeriod for the duration of the arrival window, so
 	// occupancy growth between arrivals (re-checkpoints, dedup decay)
@@ -113,14 +136,34 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	p.res.Retries = fc.Retries.Value()
 	p.res.Fallbacks = fc.Fallbacks.Value()
 	p.res.RecoveredBytes = fc.RecoveredBytes.Value()
+	p.res.RetryExhausted = fc.RetryExhausted.Value()
 
-	// Dedup accounting: mirror the device's content-addressed frame
-	// cache counters (covering Setup checkpoints and any trace-time
-	// re-checkpoints) into the results.
-	dc := &p.c.Dev.Dedup
-	p.res.DedupHits = dc.Hits.Value()
-	p.res.DedupMisses = dc.Misses.Value()
-	p.res.DedupBytesSaved = dc.BytesSaved.Value()
+	// Replication accounting: mirror the replica manager's counters and
+	// the repair loop's convergence into the results.
+	if p.rep != nil {
+		rc := &p.rep.C
+		p.res.ReplicasPlaced = rc.Placed.Value()
+		p.res.ReplicasShed = rc.Shed.Value()
+		p.res.RepairCopies = rc.RepairCopies.Value()
+		p.res.RepairedPages = rc.RepairedPages.Value()
+		p.res.LostImages = rc.LostImages.Value()
+		p.res.Failovers = rc.Failovers.Value()
+		p.res.UnderReplicated = int64(p.rep.UnderReplication())
+		if d, ok := p.rep.ConvergenceTime(); ok {
+			p.res.RepairConverged = d
+			p.res.RepairConvergedOK = true
+		}
+	}
+
+	// Dedup accounting: mirror every pool device's content-addressed
+	// frame cache counters (covering Setup checkpoints, replica
+	// placement, and any trace-time re-checkpoints) into the results.
+	for i := 0; i < p.c.Pool.N(); i++ {
+		dc := &p.c.Pool.Device(i).Dedup
+		p.res.DedupHits += dc.Hits.Value()
+		p.res.DedupMisses += dc.Misses.Value()
+		p.res.DedupBytesSaved += dc.BytesSaved.Value()
+	}
 
 	// Capacity accounting: mirror the eviction engine's counters (which
 	// cover Setup admission as well as the trace) into the results.
@@ -216,6 +259,53 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 	img, haveCkpt := p.store.Get(p.cfg.User, fn)
 	excluded := make(map[*nodeState]bool)
 
+	// Per-request retry budget, shared by replica failovers and
+	// node-down retries. Exhausting it degrades the request to a
+	// scratch cold start and counts retry_exhausted — not a generic
+	// fallback (satellite accounting fix).
+	attempts := 0
+	budget := p.c.P.RestoreRetryBudget
+	exhausted := func() bool {
+		if budget > 0 && attempts >= budget {
+			p.c.Faults.Counters.RetryExhausted.Inc()
+			return true
+		}
+		return false
+	}
+	var failoverDelay des.Time
+
+	// Replica failover: walk the checkpoint's preference list before
+	// placement. A dead device ahead of the first healthy replica costs
+	// a probe timeout plus one backed-off retry, charged to the spawn
+	// in virtual time. An image with no healthy replica left is lost:
+	// drop it (and its snapshot — the data is gone, re-publication
+	// cannot resurrect it) and serve the request from scratch.
+	if haveCkpt && p.rep != nil {
+		if rimg, ok := img.(*replica.Image); ok {
+			healthy, deadAhead := p.rep.Probe(rimg.Key())
+			switch {
+			case healthy == 0:
+				p.res.FailedRestores++
+				p.store.Reclaim(p.cfg.User, fn)
+				delete(p.snaps, fn)
+				img, haveCkpt = nil, false
+			case deadAhead > 0:
+				for i := 0; i < deadAhead && haveCkpt; i++ {
+					if exhausted() {
+						haveCkpt = false
+						break
+					}
+					failoverDelay += p.c.P.ReplicaFailoverTimeout + p.backoff(attempts)
+					attempts++
+					p.c.Faults.Counters.Retries.Inc()
+				}
+				if haveCkpt {
+					p.rep.C.Failovers.Inc()
+				}
+			}
+		}
+	}
+
 	pol := st.policy
 	var prof Profile
 	var pages int
@@ -248,9 +338,16 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 			break
 		}
 		if errors.Is(err, rfork.ErrNodeDown) {
-			// The restore target died: retry on an alternate node.
+			// The restore target died: retry on an alternate node after
+			// a backed-off delay, if the request's budget allows it.
 			excluded[node] = true
 			p.c.Faults.Counters.Retries.Inc()
+			if exhausted() {
+				haveCkpt = false
+				continue
+			}
+			failoverDelay += p.backoff(attempts)
+			attempts++
 			continue
 		}
 		// Transient device-full (or other image trouble): degrade this
@@ -258,6 +355,7 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 		haveCkpt = false
 		p.c.Faults.Counters.Fallbacks.Inc()
 	}
+	dur += failoverDelay
 	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
 	ownsCtr := false
 	if useGhost && haveCkpt {

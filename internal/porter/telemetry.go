@@ -74,6 +74,11 @@ func (p *Porter) registerTelemetry() {
 		func(des.Time) float64 { return float64(p.res.ScratchCold) })
 	reg.CounterFunc("porter_completed_total", "requests completed",
 		func(des.Time) float64 { return float64(p.res.Completed) })
+	reg.CounterFunc("porter_failed_restores_total", "restores abandoned because every replica of the checkpoint was lost",
+		func(des.Time) float64 { return float64(p.res.FailedRestores) })
+	if p.rep != nil {
+		p.rep.RegisterTelemetry(reg)
+	}
 
 	p.slo = telemetry.NewEngine(reg)
 	pp := p.c.P
@@ -118,7 +123,7 @@ func (p *Porter) ladderLevel() int {
 			return 3
 		}
 	}
-	u := p.c.Dev.Utilization()
+	u := p.c.Pool.MaxUtilization()
 	switch {
 	case u >= p.c.P.CXLHighWatermark:
 		return 2
@@ -133,7 +138,13 @@ func (p *Porter) ladderLevel() int {
 // a no-op when occupancy is already below the low watermark, so a
 // lingering alert cannot evict checkpoints the device has room for.
 func (p *Porter) sloReclaim() {
-	if p.c.Dev.Utilization() < p.c.P.CXLLowWatermark {
+	if p.c.Pool.MaxUtilization() < p.c.P.CXLLowWatermark {
+		return
+	}
+	// Shed surplus replicas before evicting whole checkpoints — the
+	// same pressure ladder as the watermark pass (DESIGN.md §12).
+	p.shedForPressure()
+	if p.c.Pool.MaxUtilization() < p.c.P.CXLLowWatermark {
 		return
 	}
 	p.reclaimToLow()

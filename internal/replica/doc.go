@@ -1,0 +1,25 @@
+// Package replica places sealed checkpoints on K devices of the CXL
+// pool and keeps them restorable across permanent device loss.
+//
+// Placement is consistent-hash with dedup affinity (DESIGN.md §12):
+// each image's preference list starts with its affine devices — the
+// ingest device already holding identical frames, where a replica costs
+// no new capacity — and continues around a virtual-node hash ring, so
+// the K copies land on K distinct devices and the mapping moves
+// minimally when the pool changes. Restores walk the preference list in
+// order; the porter charges a failover probe for every dead device
+// ahead of the first healthy replica.
+//
+// After a DeviceLoss fault, an anti-entropy repair loop re-replicates
+// the survivors: each virtual-time tick copies at most a bandwidth
+// budget of pages, resuming partially-built replicas across ticks,
+// until no image with a surviving copy is below the effective
+// replication factor. Under-replication is telemetry-visible the whole
+// way, and convergence (deficit back to zero) is timestamped for the
+// chaos experiment's repair-time report.
+//
+// Two invariants bind the capacity manager: shedding a replica for
+// capacity pressure never removes the last healthy copy, and new
+// checkpoint admissions at the high watermark wait until repair has
+// restored full replication.
+package replica

@@ -1,6 +1,7 @@
 package rfork
 
 import (
+	"errors"
 	"testing"
 
 	"cxlfork/internal/vma"
@@ -66,6 +67,7 @@ func FuzzRestoreGlobalStateEnvelope(f *testing.F) {
 		PIDNS:  "pidns-7",
 	}
 	corruptedCorpus(f, wire.SealEnvelope(gs.Encode()))
+	f.Add(divergentReplicaEnvelope())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := wire.OpenEnvelope(data)
 		if err != nil {
@@ -73,4 +75,34 @@ func FuzzRestoreGlobalStateEnvelope(f *testing.F) {
 		}
 		_, _ = DecodeGlobalState(payload)
 	})
+}
+
+// divergentReplicaEnvelope models a replica whose payload drifted from
+// the checksum recorded at seal time — the anti-entropy failure mode
+// where a repair copy reads torn or stale bytes: one image's payload
+// framed under another image's recorded hash.
+func divergentReplicaEnvelope() []byte {
+	divergent := GlobalState{
+		FDs:    []FDRecord{{Num: 3, Path: "/y", Perm: 0o600}},
+		Mounts: []string{"/", "/tmp"},
+		PIDNS:  "pidns-8",
+	}.Encode()
+	sealed := GlobalState{
+		FDs:    []FDRecord{{Num: 3, Path: "/x", Perm: 0o644}},
+		Mounts: []string{"/"},
+		PIDNS:  "pidns-7",
+	}.Encode()
+	e := wire.NewEncoder()
+	e.PutBytes(1, divergent)            // envelope payload field
+	e.PutUint(2, wire.Checksum(sealed)) // checksum of the *other* copy
+	return e.Bytes()
+}
+
+// TestDivergentReplicaEnvelopeIsRejected pins the corpus case as a
+// regression test: an envelope whose payload and recorded checksum come
+// from divergent replicas must fail with ErrChecksum, never restore.
+func TestDivergentReplicaEnvelopeIsRejected(t *testing.T) {
+	if _, err := wire.OpenEnvelope(divergentReplicaEnvelope()); !errors.Is(err, wire.ErrChecksum) {
+		t.Fatalf("divergent replica envelope opened: err = %v, want ErrChecksum", err)
+	}
 }
