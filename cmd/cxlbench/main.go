@@ -1,32 +1,349 @@
-// Command cxlbench is the bench regression harness for the parallel
-// checkpoint/restore pipeline. It runs the lane-count sweep on a fixed
-// seeded workload and writes per-lane checkpoint/restore costs
-// (virtual ns per page) plus dedup counters as JSON, so CI can diff the
-// numbers against a previous run and catch cost-model regressions.
+// Command cxlbench is the performance-trajectory harness of the
+// simulator (DESIGN.md §13). Its default mode measures the parallel
+// engine at 1/8/64 nodes with 1 and 8 workers, replays the
+// million-request Azure trace through a full porter cluster, samples
+// steady-state allocation cost, and writes the whole trajectory as
+// BENCH_0007.json. With -check it instead compares a fresh run against
+// the committed baseline and exits nonzero on regression: fingerprint
+// or event-count drift (machine-independent — always enforced),
+// allocation-ceiling breaches, a sharded-engine speedup below the
+// floor, or throughput collapse beyond the wall-clock tolerance.
 //
 // Usage:
 //
-//	cxlbench                        # sweep Float over 1/2/4/8 lanes
-//	cxlbench -fn Rnn -lanes 1,4     # another workload / lane set
-//	cxlbench -o BENCH_PR2.json      # write the report (default)
-//	cxlbench -full                  # paper-scale capacities and warmup
+//	cxlbench                          # write BENCH_0007.json
+//	cxlbench -check                   # gate against BENCH_0007.json
+//	cxlbench -check -o latest.json    # gate and keep the fresh report
+//	cxlbench -mode lanes              # legacy lane sweep (BENCH_PR2.json)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"cxlfork/internal/des"
 	"cxlfork/internal/experiments"
 	"cxlfork/internal/params"
 )
 
-// benchPoint is one lane count's costs in the JSON report. All times
-// are virtual (simulated) nanoseconds: they are exactly reproducible,
-// so any change is a real cost-model change, not machine noise.
+// trajectorySchema versions the BENCH_0007.json layout; -check refuses
+// to compare reports across schema changes.
+const trajectorySchema = "cxlbench-trajectory/1"
+
+// trajPoint is one (nodes, workers) engine measurement. Fingerprint,
+// events, epochs, requests and sim_ns are virtual-time facts — byte-
+// identical on any machine; wall_ns and the derived rates are host
+// measurements and only gated within a generous tolerance.
+type trajPoint struct {
+	Nodes            int     `json:"nodes"`
+	Workers          int     `json:"workers"`
+	Engine           string  `json:"engine"`
+	Events           uint64  `json:"events"`
+	Epochs           uint64  `json:"epochs"`
+	Requests         int64   `json:"requests"`
+	SimNs            int64   `json:"sim_ns"`
+	WallNs           int64   `json:"wall_ns"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	SimSecPerWallSec float64 `json:"sim_sec_per_wall_sec"`
+	Fingerprint      string  `json:"fingerprint"`
+}
+
+// trajAzure is the million-request cluster replay.
+type trajAzure struct {
+	Nodes            int     `json:"nodes"`
+	Arrivals         int     `json:"arrivals"`
+	Completed        int     `json:"completed"`
+	Events           uint64  `json:"events"`
+	SimNs            int64   `json:"sim_ns"`
+	WallNs           int64   `json:"wall_ns"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	SimSecPerWallSec float64 `json:"sim_sec_per_wall_sec"`
+	AllocsPerEvent   float64 `json:"allocs_per_event"`
+	Fingerprint      string  `json:"fingerprint"`
+}
+
+// trajReport is the BENCH_0007.json schema.
+type trajReport struct {
+	Schema string      `json:"schema"`
+	Engine []trajPoint `json:"engine"`
+	Azure  trajAzure   `json:"azure"`
+	// SteadyAllocsPerEvent is the pooled-engine allocation floor: the
+	// objects allocated per dispatched event once the free list is
+	// primed (the pooling contract says ~0).
+	SteadyAllocsPerEvent float64 `json:"steady_allocs_per_event"`
+	// Speedup is the 8-worker/1-worker events-per-second ratio at the
+	// 64-node point. Both runs happen on the same host back to back,
+	// so the ratio is far more stable than either raw rate.
+	Speedup float64 `json:"speedup_8w_over_1w_64_nodes"`
+}
+
+// trajNodeCounts and trajWorkerCounts span the engine grid.
+var (
+	trajNodeCounts   = []int{1, 8, 64}
+	trajWorkerCounts = []int{1, 8}
+)
+
+// allocCeilingSlack is how far allocs-per-event may drift above the
+// committed baseline before -check fails. Allocation counts are
+// deterministic per Go version but not across them, so the gate
+// carries slack instead of demanding equality.
+const allocCeilingSlack = 0.05
+
+// fpHex renders fingerprints as hex strings: JSON numbers are float64
+// and cannot carry 64 bits exactly.
+func fpHex(fp uint64) string { return fmt.Sprintf("%#016x", fp) }
+
+// buildTrajectory runs the full measurement suite. Every engine grid
+// cell at the same node count must produce the same fingerprint across
+// worker counts; divergence is an error, not a report.
+func buildTrajectory(p params.Params, verbose io.Writer) (*trajReport, error) {
+	rep := &trajReport{Schema: trajectorySchema}
+	var base64x float64
+	for _, nodes := range trajNodeCounts {
+		var first string
+		for _, workers := range trajWorkerCounts {
+			cfg := experiments.DefaultParBenchConfig()
+			cfg.Nodes = nodes
+			cfg.Workers = workers
+			r := experiments.ParBench(p, cfg)
+			engine := "sharded"
+			if workers <= 1 {
+				engine = "unified"
+			}
+			pt := trajPoint{
+				Nodes:            nodes,
+				Workers:          workers,
+				Engine:           engine,
+				Events:           r.Events,
+				Epochs:           r.Epochs,
+				Requests:         r.Requests,
+				SimNs:            int64(r.SimTime),
+				WallNs:           r.Wall.Nanoseconds(),
+				EventsPerSec:     r.EventsPerSec(),
+				SimSecPerWallSec: r.SimSecPerWallSec(),
+				Fingerprint:      fpHex(r.Fingerprint),
+			}
+			if first == "" {
+				first = pt.Fingerprint
+			} else if pt.Fingerprint != first {
+				return nil, fmt.Errorf("engine fingerprint diverged at %d nodes: %s (workers=%d) != %s",
+					nodes, pt.Fingerprint, workers, first)
+			}
+			if nodes == 64 {
+				if workers == 1 {
+					base64x = pt.EventsPerSec
+				} else if workers == 8 && base64x > 0 {
+					rep.Speedup = pt.EventsPerSec / base64x
+				}
+			}
+			fmt.Fprintf(verbose, "engine nodes=%-3d workers=%d %-7s %8d events  %6.2fM ev/s  %s\n",
+				nodes, workers, engine, pt.Events, pt.EventsPerSec/1e6, pt.Fingerprint)
+			rep.Engine = append(rep.Engine, pt)
+		}
+	}
+
+	az, err := experiments.AzureBench(p, experiments.DefaultAzureBenchConfig())
+	if err != nil {
+		return nil, err
+	}
+	rep.Azure = trajAzure{
+		Nodes:            az.Cfg.Nodes,
+		Arrivals:         az.Arrivals,
+		Completed:        az.Completed,
+		Events:           az.Events,
+		SimNs:            int64(az.SimTime),
+		WallNs:           az.Wall.Nanoseconds(),
+		EventsPerSec:     az.EventsPerSec(),
+		SimSecPerWallSec: az.SimSecPerWallSec(),
+		AllocsPerEvent:   az.AllocsPerEvent,
+		Fingerprint:      fpHex(az.Fingerprint),
+	}
+	fmt.Fprintf(verbose, "azure  %d arrivals, %d completed in %.1fs wall  %s\n",
+		az.Arrivals, az.Completed, az.Wall.Seconds(), rep.Azure.Fingerprint)
+
+	rep.SteadyAllocsPerEvent = steadyAllocsPerEvent()
+	fmt.Fprintf(verbose, "allocs steady %.4f/event, azure %.4f/event, speedup %.2fx\n",
+		rep.SteadyAllocsPerEvent, rep.Azure.AllocsPerEvent, rep.Speedup)
+	return rep, nil
+}
+
+// steadyAllocsPerEvent measures the pooled dispatch path: a warmed
+// self-rescheduling event chain must allocate ~nothing per event.
+func steadyAllocsPerEvent() float64 {
+	const warm, total = 1000, 101000
+	e := des.NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < total {
+			e.After(des.Microsecond, tick)
+		}
+	}
+	e.After(des.Microsecond, tick)
+	for count < warm && e.Step() {
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	e.Run()
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(total-warm)
+}
+
+// checkReport compares a fresh trajectory against the committed
+// baseline and returns every violation. Virtual-time facts must match
+// exactly; host-dependent rates gate within tol (fresh must reach
+// tol × baseline; tol <= 0 disables rate gating); allocation stats may
+// drift up by at most allocCeilingSlack; the sharded speedup must stay
+// at or above minSpeedup.
+func checkReport(fresh, base *trajReport, tol, minSpeedup float64) []string {
+	var v []string
+	bad := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+	if fresh.Schema != base.Schema {
+		bad("schema %q != baseline %q", fresh.Schema, base.Schema)
+		return v
+	}
+	points := make(map[[2]int]*trajPoint, len(fresh.Engine))
+	for i := range fresh.Engine {
+		pt := &fresh.Engine[i]
+		points[[2]int{pt.Nodes, pt.Workers}] = pt
+	}
+	for i := range base.Engine {
+		b := &base.Engine[i]
+		f := points[[2]int{b.Nodes, b.Workers}]
+		if f == nil {
+			bad("engine nodes=%d workers=%d: missing from fresh report", b.Nodes, b.Workers)
+			continue
+		}
+		if f.Fingerprint != b.Fingerprint {
+			bad("engine nodes=%d workers=%d: fingerprint %s != baseline %s",
+				b.Nodes, b.Workers, f.Fingerprint, b.Fingerprint)
+		}
+		if f.Events != b.Events || f.SimNs != b.SimNs || f.Requests != b.Requests {
+			bad("engine nodes=%d workers=%d: events/sim/requests %d/%d/%d != baseline %d/%d/%d",
+				b.Nodes, b.Workers, f.Events, f.SimNs, f.Requests, b.Events, b.SimNs, b.Requests)
+		}
+		if tol > 0 && f.EventsPerSec < tol*b.EventsPerSec {
+			bad("engine nodes=%d workers=%d: %.2fM ev/s below %.0f%% of baseline %.2fM",
+				b.Nodes, b.Workers, f.EventsPerSec/1e6, 100*tol, b.EventsPerSec/1e6)
+		}
+	}
+	if fresh.Azure.Fingerprint != base.Azure.Fingerprint {
+		bad("azure: fingerprint %s != baseline %s", fresh.Azure.Fingerprint, base.Azure.Fingerprint)
+	}
+	if fresh.Azure.Events != base.Azure.Events || fresh.Azure.Completed != base.Azure.Completed {
+		bad("azure: events/completed %d/%d != baseline %d/%d",
+			fresh.Azure.Events, fresh.Azure.Completed, base.Azure.Events, base.Azure.Completed)
+	}
+	if tol > 0 && fresh.Azure.EventsPerSec < tol*base.Azure.EventsPerSec {
+		bad("azure: %.2fM ev/s below %.0f%% of baseline %.2fM",
+			fresh.Azure.EventsPerSec/1e6, 100*tol, base.Azure.EventsPerSec/1e6)
+	}
+	if fresh.Azure.AllocsPerEvent > base.Azure.AllocsPerEvent+allocCeilingSlack {
+		bad("azure: %.4f allocs/event breaches baseline %.4f (+%.2f slack)",
+			fresh.Azure.AllocsPerEvent, base.Azure.AllocsPerEvent, allocCeilingSlack)
+	}
+	if fresh.SteadyAllocsPerEvent > base.SteadyAllocsPerEvent+allocCeilingSlack {
+		bad("engine: steady state %.4f allocs/event breaches baseline %.4f (+%.2f slack)",
+			fresh.SteadyAllocsPerEvent, base.SteadyAllocsPerEvent, allocCeilingSlack)
+	}
+	if minSpeedup > 0 && fresh.Speedup < minSpeedup {
+		bad("speedup: 8-worker/1-worker ratio %.2fx below floor %.2fx", fresh.Speedup, minSpeedup)
+	}
+	return v
+}
+
+// gate runs the -check pipeline: load the baseline, compare, report.
+// It returns the process exit code so a test can doctor a baseline and
+// prove regressions exit nonzero.
+func gate(fresh *trajReport, baselinePath string, tol, minSpeedup float64, stderr io.Writer) int {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "cxlbench: baseline: %v\n", err)
+		return 1
+	}
+	var base trajReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintf(stderr, "cxlbench: baseline %s: %v\n", baselinePath, err)
+		return 1
+	}
+	violations := checkReport(fresh, &base, tol, minSpeedup)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(stderr, "cxlbench: REGRESSION: %s\n", v)
+		}
+		fmt.Fprintf(stderr, "cxlbench: %d regression(s) vs %s\n", len(violations), baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stderr, "cxlbench: trajectory matches %s\n", baselinePath)
+	return 0
+}
+
+func main() {
+	mode := flag.String("mode", "trajectory", "benchmark mode: trajectory, lanes")
+	check := flag.Bool("check", false, "compare a fresh trajectory against -baseline and exit nonzero on regression")
+	baseline := flag.String("baseline", "BENCH_0007.json", "committed trajectory baseline for -check")
+	tol := flag.Float64("tolerance", 0.2, "events/sec floor as a fraction of baseline (0 disables rate gating)")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required 8-worker/1-worker events/sec ratio at 64 nodes")
+	fn := flag.String("fn", "Float", "lanes: function to sweep")
+	lanesArg := flag.String("lanes", "1,2,4,8", "lanes: comma-separated lane counts")
+	out := flag.String("o", "", "output JSON path (- for stdout; default BENCH_0007.json / BENCH_PR2.json by mode, none for -check)")
+	full := flag.Bool("full", false, "lanes: paper-scale capacities and full warmup (slow)")
+	flag.Parse()
+
+	switch {
+	case *mode == "lanes":
+		runLanes(*fn, *lanesArg, *out, *full)
+	case *mode == "trajectory":
+		p := experiments.ExpParams()
+		rep, err := buildTrajectory(p, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *out != "" {
+			writeJSON(rep, *out)
+		} else if !*check {
+			writeJSON(rep, "BENCH_0007.json")
+		}
+		if *check {
+			os.Exit(gate(rep, *baseline, *tol, *minSpeedup, os.Stderr))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cxlbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// writeJSON marshals the report to path ("-" for stdout) or dies.
+func writeJSON(rep any, path string) {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// benchPoint is one lane count's costs in the legacy lanes report. All
+// times are virtual (simulated) nanoseconds: exactly reproducible, so
+// any change is a real cost-model change, not machine noise.
 type benchPoint struct {
 	Lanes            int     `json:"lanes"`
 	CheckpointNs     int64   `json:"checkpoint_ns"`
@@ -47,15 +364,11 @@ type benchReport struct {
 	Points   []benchPoint `json:"points"`
 }
 
-func main() {
-	fn := flag.String("fn", "Float", "function to sweep")
-	lanesArg := flag.String("lanes", "1,2,4,8", "comma-separated lane counts")
-	out := flag.String("o", "BENCH_PR2.json", "output JSON path (- for stdout)")
-	full := flag.Bool("full", false, "paper-scale capacities and full 16-invocation warmup (slow)")
-	flag.Parse()
-
+// runLanes is the legacy lane-sweep mode, kept byte-compatible with
+// the BENCH_PR2.json consumers.
+func runLanes(fn, lanesArg, out string, full bool) {
 	var laneCounts []int
-	for _, s := range strings.Split(*lanesArg, ",") {
+	for _, s := range strings.Split(lanesArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 1 {
 			fmt.Fprintf(os.Stderr, "cxlbench: bad lane count %q\n", s)
@@ -65,14 +378,14 @@ func main() {
 	}
 
 	p := experiments.ExpParams()
-	if !*full {
+	if !full {
 		// CI sizing: capacities just big enough for the small workloads
 		// and a short warmup. Virtual-time results stay deterministic;
 		// only wall-clock cost changes.
 		p = ciParams(p)
 	}
 
-	r, err := experiments.LaneSweep(p, *fn, laneCounts)
+	r, err := experiments.LaneSweep(p, fn, laneCounts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
 		os.Exit(1)
@@ -94,26 +407,14 @@ func main() {
 			DedupBytesSaved:  pt.DedupBytesSaved,
 		})
 	}
-
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
-		os.Exit(1)
+	if out == "" {
+		out = "BENCH_PR2.json"
 	}
-	blob = append(blob, '\n')
-	if *out == "-" {
-		os.Stdout.Write(blob)
-		return
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	writeJSON(rep, out)
 }
 
-// ciParams shrinks pool capacities and the warmup so a sweep finishes
-// in about a second.
+// ciParams shrinks pool capacities and the warmup so a lane sweep
+// finishes in about a second.
 func ciParams(p params.Params) params.Params {
 	p.NodeDRAMBytes = 1 << 30
 	p.CXLBytes = 1 << 30

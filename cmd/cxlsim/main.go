@@ -9,6 +9,7 @@
 //	cxlsim -exp fig1 -invocations 32
 //	cxlsim -exp fig10 -rps 150 -duration 60
 //	cxlsim -exp slo -telemetry      # burn-rate alerts driving reclaim
+//	cxlsim -exp parbench -workers 8 # sharded-engine sweep (DESIGN.md §13)
 package main
 
 import (
@@ -22,12 +23,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, parbench, all")
 	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
 	rps := flag.Float64("rps", 150, "fig10/capacity/slo: aggregate request rate")
 	duration := flag.Float64("duration", 60, "fig10/capacity/slo: trace duration in seconds")
 	telem := flag.Bool("telemetry", false, "enable virtual-time metric sampling (DESIGN.md §11)")
+	workers := flag.Int("workers", 1, "simulation workers (DESIGN.md §13); results are byte-identical at any count")
+	nodes := flag.Int("nodes", 64, "parbench: simulated node count")
 	flag.Parse()
 
 	if *exp == "" {
@@ -37,6 +40,9 @@ func main() {
 	p := experiments.ExpParams()
 	if *telem {
 		p.TelemetryEnabled = true
+	}
+	if *workers > 1 {
+		p.SimWorkers = *workers
 	}
 	w := os.Stdout
 
@@ -148,6 +154,18 @@ func main() {
 				return err
 			}
 			fmt.Fprint(w, experiments.FormatLaneSweep(r))
+		case "parbench":
+			cfg := experiments.DefaultParBenchConfig()
+			cfg.Nodes = *nodes
+			sweep := []int{1, 2, 8}
+			if *workers > 1 && *workers != 2 && *workers != 8 {
+				sweep = append(sweep, *workers)
+			}
+			r, err := experiments.ParBenchSweep(p, cfg, sweep)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

@@ -80,6 +80,13 @@ type Config struct {
 	// Telemetry tunes the virtual-time metric sampler (DESIGN.md §11).
 	// Like tracing, sampling is purely observational.
 	Telemetry TelemetryConfig
+	// Workers is the simulation worker count (DESIGN.md §13). At 0 or 1
+	// everything runs sequentially; above 1, independent simulation
+	// legs fan out to a goroutine pool and multi-node fabric workloads
+	// run on the sharded epoch-barrier engine. Results are
+	// byte-identical at any worker count — workers trade wall-clock
+	// time only, never determinism.
+	Workers int
 	// Seed drives all randomized behaviour (deterministic by default).
 	Seed int64
 }
@@ -240,6 +247,9 @@ func (c Config) params() params.Params {
 	}
 	if c.Telemetry.SeriesCap > 0 {
 		p.TelemetrySeriesCap = c.Telemetry.SeriesCap
+	}
+	if c.Workers > 1 {
+		p.SimWorkers = c.Workers
 	}
 	return p
 }

@@ -286,3 +286,36 @@ func TestWorkflowChain(t *testing.T) {
 		t.Fatal("degenerate chain accepted")
 	}
 }
+
+// TestWorkersAreResultNeutral is the facade-level determinism contract
+// of DESIGN.md §13: Config.Workers fans simulation legs out to
+// goroutines but must not change any observable result.
+func TestWorkersAreResultNeutral(t *testing.T) {
+	run := func(workers int) (time.Duration, int64, int64) {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		sys := NewSystem(cfg)
+		fn := deployWarm(t, sys, "Float")
+		ck, err := sys.Checkpoint(fn, CXLfork, "float-w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn.Exit()
+		clone, err := sys.Restore(1, ck, RestoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := clone.Invoke()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, clone.ResidentLocalBytes(), clone.ResidentCXLBytes()
+	}
+	d1, l1, c1 := run(1)
+	for _, w := range []int{2, 8} {
+		d, l, c := run(w)
+		if d != d1 || l != l1 || c != c1 {
+			t.Fatalf("workers=%d diverged: %v/%d/%d vs %v/%d/%d", w, d, l, c, d1, l1, c1)
+		}
+	}
+}

@@ -43,6 +43,12 @@ type Cluster struct {
 	// so enabling sampling cannot change simulation results
 	// (DESIGN.md §11).
 	Telem *telemetry.Registry
+
+	// Sim fans independent simulation legs out to params.SimWorkers
+	// goroutines (DESIGN.md §13). The coupled replay on Eng stays
+	// sequential; the pool only parallelizes legs that share nothing,
+	// so results are byte-identical at any worker count.
+	Sim *des.Pool
 }
 
 // New builds a cluster of n nodes with the given parameters. All nodes
@@ -64,6 +70,7 @@ func New(p params.Params, n int) (*Cluster, error) {
 		FS:     fs,
 		CXLFS:  fsim.NewCXLFS(dev),
 		Faults: faultinject.NewPlan(eng, 1),
+		Sim:    des.NewPool(p.SimWorkers),
 	}
 	if p.TraceEnabled {
 		c.Trace = trace.New(p.TraceBufferCap)

@@ -214,6 +214,12 @@ type Mechanism struct {
 	// Faults is the fault-injection plan consulted at step boundaries.
 	// May be nil (no faults).
 	Faults *faultinject.Plan
+	// shardScratch is the reusable lane-shard buffer for the VMA and
+	// PTE walks (DESIGN.md §13). Checkpoint and Restore run
+	// synchronously on their cluster's engine goroutine and never
+	// nest, so one buffer serves both; each call takes it at entry and
+	// returns it emptied on every exit path.
+	shardScratch []des.Shard
 }
 
 // New returns the CXLfork mechanism over the device.
@@ -241,7 +247,8 @@ func (m *Mechanism) Checkpoint(parent *kernel.Task, id string) (rfork.Image, err
 	pool := m.Dev.Pool()
 	lanes := p.CheckpointLanes
 	var cost des.Time // lane-independent serial work
-	var shards []des.Shard
+	shards := m.shardScratch[:0]
+	defer func() { m.shardScratch = shards[:0] }()
 
 	// Task and MM descriptors (steps 1-3): native memory copies.
 	cost += p.StructCopy

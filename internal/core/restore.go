@@ -52,7 +52,8 @@ func (m *Mechanism) Restore(child *kernel.Task, img rfork.Image, opts rfork.Opti
 	}
 	lanes := p.RestoreLanes
 	var cost des.Time // lane-independent serial work
-	var shards []des.Shard
+	shards := m.shardScratch[:0]
+	defer func() { m.shardScratch = shards[:0] }()
 
 	// Attach the MM descriptor view: the VMA leaves (§4.2.1). Global
 	// state for file VMAs is reconstructed lazily at first fault. The

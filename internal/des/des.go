@@ -40,17 +40,27 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis converts a virtual time to floating-point milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Events are pooled: once dispatched (or
+// popped dead) the struct returns to the owning engine's free list and
+// its generation counter advances, so stale EventIDs cannot touch the
+// recycled slot.
 type event struct {
 	at   Time
 	seq  uint64 // insertion order; tie-breaker for determinism
+	gen  uint32 // recycle generation; guards Cancel after reuse
 	fn   func()
 	dead bool
 	idx  int
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The
+// generation snapshot makes an ID single-use: after the event fires and
+// its struct is recycled for a later schedule, the stale ID no longer
+// matches and Cancel is a no-op.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
 
 type eventHeap []*event
 
@@ -81,10 +91,15 @@ func (h *eventHeap) Pop() any {
 
 // Engine is a single-threaded virtual clock plus event queue.
 // It is not safe for concurrent use; simulations run on one goroutine.
+// A ShardedEngine owns one Engine per shard and drives them under epoch
+// barriers (DESIGN.md §13); each shard engine is still only ever touched
+// by one goroutine at a time.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now      Time
+	seq      uint64
+	events   eventHeap
+	free     []*event // recycled event structs; hot path is alloc-free
+	executed uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -107,10 +122,33 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("des: schedule in the past: %v < now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.events, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
+}
+
+// alloc takes an event struct from the free list, or the heap allocator
+// when the pool is dry (cold start, or a new high-water mark of pending
+// events).
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free list. Bumping the
+// generation first invalidates every EventID that still points here.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.dead = false
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -121,13 +159,17 @@ func (e *Engine) After(d Time, fn func()) EventID {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired is a no-op.
+// Cancel prevents a scheduled event from firing. Cancelling an event
+// that already fired is a no-op: firing recycles the event struct and
+// advances its generation, so a stale ID no longer matches.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
+	if id.ev != nil && id.ev.gen == id.gen {
 		id.ev.dead = true
 	}
 }
+
+// Executed reports the number of events dispatched since construction.
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports the number of live scheduled events.
 func (e *Engine) Pending() int {
@@ -146,10 +188,16 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		// Recycle before dispatch: if fn schedules a follow-up event it
+		// reuses this struct, keeping the steady state allocation-free.
+		e.recycle(ev)
+		e.executed++
+		fn()
 		return true
 	}
 	return false
@@ -166,23 +214,57 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.events) > 0 {
 		// Peek.
-		var next *event
 		for len(e.events) > 0 && e.events[0].dead {
-			heap.Pop(&e.events)
+			e.recycle(heap.Pop(&e.events).(*event))
 		}
 		if len(e.events) == 0 {
 			break
 		}
-		next = e.events[0]
-		if next.at > deadline {
+		if e.events[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		next.fn()
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		fn := ev.fn
+		e.recycle(ev)
+		e.executed++
+		fn()
 	}
 	if e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// nextAt returns the timestamp of the earliest live event, or false
+// when the queue is drained. The sharded engine's barrier loop uses it
+// to compute the global horizon.
+func (e *Engine) nextAt() (Time, bool) {
+	for len(e.events) > 0 && e.events[0].dead {
+		e.recycle(heap.Pop(&e.events).(*event))
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// runBefore dispatches every event with a timestamp strictly below end
+// — one epoch of the sharded engine — leaving the clock at the last
+// executed event. It reports the number of events dispatched.
+func (e *Engine) runBefore(end Time) int {
+	n := 0
+	for {
+		at, ok := e.nextAt()
+		if !ok || at >= end {
+			return n
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		fn := ev.fn
+		e.recycle(ev)
+		e.executed++
+		fn()
+		n++
 	}
 }
 

@@ -1,0 +1,71 @@
+package des
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans independent simulation legs out to worker goroutines.
+// Experiments use it for embarrassingly parallel sweeps — per-function
+// calibration, design×fraction grids, per-lane-count points — where
+// each leg builds its own cluster and engine. Determinism is preserved
+// structurally: legs share nothing, and results land in caller-owned
+// slots indexed by leg, so output order is input order regardless of
+// which worker ran which leg. A nil Pool (or workers <= 1) degrades to
+// a plain serial loop, which is the SimWorkers=1 baseline.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running up to workers legs concurrently.
+// Workers below 1 are treated as 1 (serial).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the configured concurrency; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Each runs job(i) for every i in [0, n), returning when all are done.
+// Jobs must be independent: they may not share mutable state, and each
+// must write its result only to its own index. With one worker (or a
+// nil pool) the loop is strictly sequential in index order.
+func (p *Pool) Each(n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package des
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolSerialRunsInIndexOrder(t *testing.T) {
+	var order []int
+	NewPool(1).Each(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	n := 0
+	p.Each(3, func(int) { n++ })
+	if n != 3 {
+		t.Fatalf("nil pool ran %d jobs, want 3", n)
+	}
+}
+
+func TestPoolParallelCoversEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int32
+	NewPool(8).Each(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolResultsLandByIndex(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	NewPool(4).Each(n, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPoolEdgeCases(t *testing.T) {
+	ran := false
+	NewPool(4).Each(0, func(int) { ran = true })
+	if ran {
+		t.Fatal("n=0 ran a job")
+	}
+	if NewPool(0).Workers() != 1 || NewPool(-3).Workers() != 1 {
+		t.Fatal("sub-1 worker counts must clamp to 1")
+	}
+	// More workers than jobs clamps to job count.
+	n := 0
+	NewPool(16).Each(1, func(int) { n++ })
+	if n != 1 {
+		t.Fatalf("ran %d jobs, want 1", n)
+	}
+}

@@ -1,0 +1,325 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the sharded engine: per-shard event queues owned
+// by worker goroutines, synchronized by epoch barriers with a lookahead
+// window derived from the minimum cross-shard latency (the fabric hop
+// cost). See DESIGN.md §13 for the synchronization model and the
+// determinism argument.
+//
+// The conservative invariant: during an epoch ending at time E, a shard
+// only executes events with timestamps strictly below E, and any
+// cross-shard message it emits is delivered no earlier than
+// sender.Now() + lookahead >= horizon + lookahead = E. Messages are
+// parked in per-source outboxes (race-free: each source shard is owned
+// by exactly one worker within an epoch) and merged at the barrier in
+// deterministic (timestamp, send seq, source shard) order. The executed
+// event set and every delivery order are therefore independent of the
+// worker count and of goroutine interleaving, which is what keeps
+// Results.Fingerprint byte-identical at SimWorkers = 1, 2, and 8.
+
+// xmsg is one cross-shard message parked in a source outbox until the
+// next epoch barrier.
+type xmsg struct {
+	at  Time
+	seq uint64 // per-source send order
+	src int
+	dst int
+	fn  func()
+}
+
+// xmsgLess is the deterministic merge order at an epoch barrier:
+// timestamp, then send seq, then source shard id. Per-source seqs make
+// the triple unique, so the order is total and worker-independent.
+func xmsgLess(a, b xmsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.src < b.src
+}
+
+// ShardedEngine runs one event queue per shard (node) under
+// conservative epoch barriers. Within an epoch shards are fully
+// independent, so a static shard→worker partition can execute them on
+// parallel goroutines; cross-shard effects only happen at barriers.
+//
+// Construct with NewShardedEngine, seed initial events through
+// Shard(i).At, then call Run. Send is only legal while Run is
+// dispatching (from inside an executing event) or before the first
+// epoch; its delay must be at least the lookahead.
+type ShardedEngine struct {
+	shards    []*Engine
+	workers   int
+	lookahead Time
+	outbox    [][]xmsg // per-source parked messages
+	xseq      []uint64 // per-source send counters
+	merged    []xmsg   // barrier merge scratch, reused across epochs
+	epochs    uint64
+	sent      uint64
+}
+
+// NewShardedEngine returns an engine with n shard queues executed by up
+// to workers goroutines, using the given lookahead window (the minimum
+// cross-shard delivery latency, i.e. the fabric hop cost).
+func NewShardedEngine(n, workers int, lookahead Time) *ShardedEngine {
+	if n <= 0 {
+		panic(fmt.Sprintf("des: sharded engine needs at least one shard, got %d", n))
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("des: non-positive lookahead %d", lookahead))
+	}
+	se := &ShardedEngine{
+		shards:    make([]*Engine, n),
+		workers:   workers,
+		lookahead: lookahead,
+		outbox:    make([][]xmsg, n),
+		xseq:      make([]uint64, n),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+	}
+	return se
+}
+
+// Shard returns shard i's engine for seeding and local scheduling.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Shards reports the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Workers reports the configured worker count.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// Lookahead reports the epoch lookahead window.
+func (se *ShardedEngine) Lookahead() Time { return se.lookahead }
+
+// Epochs reports the number of barrier-separated epochs executed.
+func (se *ShardedEngine) Epochs() uint64 { return se.epochs }
+
+// Sent reports the number of cross-shard messages delivered.
+func (se *ShardedEngine) Sent() uint64 { return se.sent }
+
+// Executed reports the total events dispatched across all shards.
+func (se *ShardedEngine) Executed() uint64 {
+	var n uint64
+	for _, s := range se.shards {
+		n += s.executed
+	}
+	return n
+}
+
+// Now returns the frontier of the simulation: the maximum shard clock.
+func (se *ShardedEngine) Now() Time {
+	var t Time
+	for _, s := range se.shards {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
+
+// Pending reports the live scheduled events across all shards.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, s := range se.shards {
+		n += s.Pending()
+	}
+	return n
+}
+
+// Send schedules fn on shard dst at src's current time plus delay. The
+// delay must be at least the lookahead — that floor is what licenses
+// shards to run an entire epoch without observing each other. The
+// message parks in src's outbox and is merged at the next barrier, so
+// calling this from any shard's executing event is race-free.
+func (se *ShardedEngine) Send(src, dst int, delay Time, fn func()) {
+	if delay < se.lookahead {
+		panic(fmt.Sprintf("des: cross-shard delay %v below lookahead %v", delay, se.lookahead))
+	}
+	if dst < 0 || dst >= len(se.shards) {
+		panic(fmt.Sprintf("des: send to shard %d of %d", dst, len(se.shards)))
+	}
+	se.outbox[src] = append(se.outbox[src], xmsg{
+		at:  se.shards[src].now + delay,
+		seq: se.xseq[src],
+		src: src,
+		dst: dst,
+		fn:  fn,
+	})
+	se.xseq[src]++
+}
+
+// flush merges every parked cross-shard message onto its destination
+// queue in deterministic (at, seq, src) order. It reports whether any
+// message was delivered.
+func (se *ShardedEngine) flush() bool {
+	se.merged = se.merged[:0]
+	for src := range se.outbox {
+		se.merged = append(se.merged, se.outbox[src]...)
+		se.outbox[src] = se.outbox[src][:0]
+	}
+	if len(se.merged) == 0 {
+		return false
+	}
+	sort.Slice(se.merged, func(i, j int) bool { return xmsgLess(se.merged[i], se.merged[j]) })
+	for i := range se.merged {
+		m := &se.merged[i]
+		se.shards[m.dst].At(m.at, m.fn)
+		m.fn = nil
+		se.sent++
+	}
+	return true
+}
+
+// horizon returns the earliest live event timestamp across all shards.
+func (se *ShardedEngine) horizon() (Time, bool) {
+	var h Time
+	ok := false
+	for _, s := range se.shards {
+		if at, live := s.nextAt(); live && (!ok || at < h) {
+			h, ok = at, true
+		}
+	}
+	return h, ok
+}
+
+// Run drains every shard queue to completion under epoch barriers.
+func (se *ShardedEngine) Run() {
+	w := se.workers
+	if w > len(se.shards) {
+		w = len(se.shards)
+	}
+	if w <= 1 {
+		se.run(func(end Time) {
+			for _, s := range se.shards {
+				s.runBefore(end)
+			}
+		})
+		return
+	}
+
+	// Persistent workers with a static round-robin shard partition:
+	// worker id owns shards id, id+w, id+2w, … for the whole run, so a
+	// shard engine is only ever touched by one goroutine per epoch and
+	// the partition itself never affects results (shards are
+	// independent inside an epoch by the lookahead invariant).
+	starts := make([]chan Time, w)
+	var done sync.WaitGroup
+	for id := 0; id < w; id++ {
+		starts[id] = make(chan Time)
+		go func(id int) {
+			for end := range starts[id] {
+				for s := id; s < len(se.shards); s += w {
+					se.shards[s].runBefore(end)
+				}
+				done.Done()
+			}
+		}(id)
+	}
+	se.run(func(end Time) {
+		done.Add(w)
+		for _, c := range starts {
+			c <- end
+		}
+		done.Wait()
+	})
+	for _, c := range starts {
+		close(c)
+	}
+}
+
+// run is the barrier loop: deliver parked messages, compute the global
+// horizon, execute one epoch of events below horizon+lookahead, repeat
+// until both queues and outboxes are dry. epoch executes one epoch
+// across all shards (serially or on the worker pool).
+func (se *ShardedEngine) run(epoch func(end Time)) {
+	for {
+		flushed := se.flush()
+		h, ok := se.horizon()
+		if !ok {
+			if flushed {
+				continue
+			}
+			return
+		}
+		epoch(h + se.lookahead)
+		se.epochs++
+	}
+}
+
+// Fabric is the scheduling surface a multi-node simulation runs
+// against: per-node engines plus lookahead-bounded cross-node delivery.
+// NewFabric picks the implementation from the worker count — a single
+// unified queue at workers <= 1 (the legacy sequential engine), the
+// sharded epoch engine otherwise. Workloads built on this interface are
+// byte-deterministic across implementations as long as same-timestamp
+// events on *different* nodes commute (nodes share no mutable state),
+// which is the discipline the lookahead floor enforces.
+type Fabric interface {
+	// Shard returns node i's engine for seeding and local scheduling.
+	Shard(i int) *Engine
+	// Shards reports the node count.
+	Shards() int
+	// Workers reports the configured worker count.
+	Workers() int
+	// Send delivers fn to node dst after delay (>= the fabric hop
+	// cost) of the sending node src's current time.
+	Send(src, dst int, delay Time, fn func())
+	// Run drains all queues.
+	Run()
+	// Executed reports total events dispatched.
+	Executed() uint64
+}
+
+// monoFabric is the workers<=1 Fabric: every node shares one unified
+// event queue, exactly the pre-sharding sequential engine. It is the
+// baseline the sharded engine is benchmarked against.
+type monoFabric struct {
+	eng       *Engine
+	n         int
+	lookahead Time
+}
+
+func (m *monoFabric) Shard(int) *Engine { return m.eng }
+func (m *monoFabric) Shards() int       { return m.n }
+func (m *monoFabric) Workers() int      { return 1 }
+func (m *monoFabric) Run()              { m.eng.Run() }
+func (m *monoFabric) Executed() uint64  { return m.eng.Executed() }
+
+func (m *monoFabric) Send(src, dst int, delay Time, fn func()) {
+	if delay < m.lookahead {
+		panic(fmt.Sprintf("des: cross-shard delay %v below lookahead %v", delay, m.lookahead))
+	}
+	if dst < 0 || dst >= m.n {
+		panic(fmt.Sprintf("des: send to shard %d of %d", dst, m.n))
+	}
+	m.eng.After(delay, fn)
+}
+
+// NewFabric returns a fabric for n nodes: a single unified queue when
+// workers <= 1, the sharded epoch engine otherwise. lookahead is the
+// minimum cross-node delivery latency in both cases.
+func NewFabric(n, workers int, lookahead Time) Fabric {
+	if workers <= 1 {
+		if n <= 0 {
+			panic(fmt.Sprintf("des: fabric needs at least one shard, got %d", n))
+		}
+		if lookahead <= 0 {
+			panic(fmt.Sprintf("des: non-positive lookahead %d", lookahead))
+		}
+		return &monoFabric{eng: NewEngine(), n: n, lookahead: lookahead}
+	}
+	return NewShardedEngine(n, workers, lookahead)
+}

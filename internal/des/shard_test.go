@@ -1,0 +1,259 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildShardLoad seeds a deterministic multi-shard workload on fab:
+// every shard runs a chain of events and periodically sends a
+// counter-bump to its ring neighbour with exactly the lookahead delay.
+// Returns per-shard accumulators the caller fingerprints after Run.
+func buildShardLoad(fab Fabric, lookahead Time, events int) []int64 {
+	n := fab.Shards()
+	acc := make([]int64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		eng := fab.Shard(i)
+		var chain func(k int)
+		chain = func(k int) {
+			acc[i] += int64(eng.Now()) ^ int64(k)
+			if k%7 == 3 {
+				dst := (i + 1) % n
+				fab.Send(i, dst, lookahead+Time(k%5)*Microsecond, func() {
+					acc[dst] += 1000003
+				})
+			}
+			if k+1 < events {
+				eng.After(Time(1+k%13)*Microsecond, func() { chain(k + 1) })
+			}
+		}
+		eng.At(Time(i)*Microsecond, func() { chain(0) })
+	}
+	return acc
+}
+
+func TestFabricDeterministicAcrossWorkers(t *testing.T) {
+	const lookahead = 50 * Microsecond
+	var base []int64
+	var baseExec uint64
+	for _, workers := range []int{1, 2, 3, 8} {
+		fab := NewFabric(16, workers, lookahead)
+		acc := buildShardLoad(fab, lookahead, 200)
+		fab.Run()
+		if base == nil {
+			base, baseExec = acc, fab.Executed()
+			continue
+		}
+		if !reflect.DeepEqual(acc, base) {
+			t.Fatalf("workers=%d: per-shard results diverged\n got %v\nwant %v", workers, acc, base)
+		}
+		if fab.Executed() != baseExec {
+			t.Fatalf("workers=%d: executed %d events, baseline %d", workers, fab.Executed(), baseExec)
+		}
+	}
+}
+
+func TestShardedEngineRepeatedRunsIdentical(t *testing.T) {
+	const lookahead = 50 * Microsecond
+	run := func() ([]int64, uint64, uint64) {
+		se := NewShardedEngine(8, 4, lookahead)
+		acc := buildShardLoad(se, lookahead, 300)
+		se.Run()
+		return acc, se.Epochs(), se.Sent()
+	}
+	a1, e1, s1 := run()
+	a2, e2, s2 := run()
+	if !reflect.DeepEqual(a1, a2) || e1 != e2 || s1 != s2 {
+		t.Fatalf("repeated sharded runs diverged: %v/%d/%d vs %v/%d/%d", a1, e1, s1, a2, e2, s2)
+	}
+	if e1 == 0 || s1 == 0 {
+		t.Fatalf("workload exercised no epochs (%d) or sends (%d)", e1, s1)
+	}
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	se := NewShardedEngine(2, 2, Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-lookahead send did not panic")
+		}
+	}()
+	se.Send(0, 1, Microsecond, func() {})
+}
+
+func TestMonoFabricSendBelowLookaheadPanics(t *testing.T) {
+	fab := NewFabric(2, 1, Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-lookahead send did not panic")
+		}
+	}()
+	fab.Send(0, 1, Microsecond, func() {})
+}
+
+// canonicalMerge sorts messages by the engine's deterministic barrier
+// order: timestamp, then send seq, then source shard.
+func canonicalMerge(msgs []xmsg) []xmsg {
+	out := append([]xmsg(nil), msgs...)
+	sort.Slice(out, func(i, j int) bool { return xmsgLess(out[i], out[j]) })
+	return out
+}
+
+// naiveMerge is a deliberately nondeterministic merge: it orders by
+// timestamp only, keeping arrival order for ties — so the output
+// depends on which worker's outbox drained first.
+func naiveMerge(msgs []xmsg) []xmsg {
+	out := append([]xmsg(nil), msgs...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out
+}
+
+// mergeKeys projects the fields a merge order is defined over.
+func mergeKeys(msgs []xmsg) [][3]uint64 {
+	keys := make([][3]uint64, len(msgs))
+	for i, m := range msgs {
+		keys[i] = [3]uint64{uint64(m.at), m.seq, uint64(m.src)}
+	}
+	return keys
+}
+
+// genEqualTimestampMsgs builds a barrier's worth of messages with many
+// deliberate timestamp collisions across shards, plus a random
+// arrival permutation.
+func genEqualTimestampMsgs(seed int64) []xmsg {
+	rng := rand.New(rand.NewSource(seed))
+	n := 8 + rng.Intn(24)
+	msgs := make([]xmsg, 0, n)
+	seqs := make(map[int]uint64)
+	for i := 0; i < n; i++ {
+		src := rng.Intn(4)
+		msgs = append(msgs, xmsg{
+			at:  Time(rng.Intn(3)) * Millisecond, // few distinct stamps → ties
+			seq: seqs[src],
+			src: src,
+			dst: rng.Intn(4),
+		})
+		seqs[src]++
+	}
+	rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+	return msgs
+}
+
+// TestQuickMergeOrderIsArrivalInvariant is the shard-queue ordering
+// property: however the per-worker outboxes happen to drain, events
+// with equal timestamps dequeue in the deterministic tie-break order
+// (send seq, then shard id).
+func TestQuickMergeOrderIsArrivalInvariant(t *testing.T) {
+	prop := func(seed int64, permSeed int64) bool {
+		msgs := genEqualTimestampMsgs(seed)
+		want := mergeKeys(canonicalMerge(msgs))
+		// A different arrival permutation of the same messages.
+		perm := append([]xmsg(nil), msgs...)
+		rand.New(rand.NewSource(permSeed)).Shuffle(len(perm), func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		got := mergeKeys(canonicalMerge(perm))
+		if !reflect.DeepEqual(got, want) {
+			return false
+		}
+		// And the order is total: (at, seq, src) strictly ascending.
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			if a[0] > b[0] || (a[0] == b[0] && (a[1] > b[1] || (a[1] == b[1] && a[2] >= b[2]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNaiveMergeIsCaught proves the detector has teeth: an
+// arrival-order-stable merge (no seq/shard tie-break) produces
+// different dequeue orders for different arrival permutations, which
+// the same invariance check flags.
+func TestNaiveMergeIsCaught(t *testing.T) {
+	caught := false
+	for seed := int64(0); seed < 64 && !caught; seed++ {
+		msgs := genEqualTimestampMsgs(seed)
+		want := mergeKeys(naiveMerge(msgs))
+		for permSeed := int64(1); permSeed < 8; permSeed++ {
+			perm := append([]xmsg(nil), msgs...)
+			rand.New(rand.NewSource(permSeed)).Shuffle(len(perm), func(i, j int) {
+				perm[i], perm[j] = perm[j], perm[i]
+			})
+			if !reflect.DeepEqual(mergeKeys(naiveMerge(perm)), want) {
+				caught = true
+				break
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("nondeterministic merge was never caught across 64 seeds — detector is blind")
+	}
+}
+
+// TestCancelAfterRecycleIsNoOp pins the pooled-event safety property:
+// an EventID whose event already fired must not cancel the unrelated
+// event that reused the recycled struct.
+func TestCancelAfterRecycleIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	stale := e.At(1, func() {})
+	if !e.Step() {
+		t.Fatal("first event did not fire")
+	}
+	// The freed struct is reused by the very next schedule.
+	e.At(2, func() { fired++ })
+	e.Cancel(stale) // must not touch the recycled slot
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("stale Cancel killed a recycled event (fired=%d)", fired)
+	}
+}
+
+// TestCancelStillWorksOnLiveEvents guards the other side: a live ID
+// cancels exactly its own event.
+func TestCancelStillWorksOnLiveEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	id := e.At(1, func() { fired++ })
+	e.At(2, func() { fired += 10 })
+	e.Cancel(id)
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("fired=%d, want 10 (only the uncancelled event)", fired)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("executed=%d, want 1", e.Executed())
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewShardedEngine(0, 1, Millisecond) },
+		func() { NewShardedEngine(2, 1, 0) },
+		func() { NewFabric(0, 1, Millisecond) },
+		func() { NewFabric(2, 1, 0) },
+		func() { NewShardedEngine(2, 2, Millisecond).Send(0, 9, Millisecond, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	// Worker count below 1 clamps instead of panicking.
+	if se := NewShardedEngine(2, 0, Millisecond); se.Workers() != 1 {
+		t.Fatalf("workers clamp: got %d", se.Workers())
+	}
+}

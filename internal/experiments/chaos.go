@@ -127,16 +127,31 @@ func Chaos(p params.Params, cfg ChaosConfig) (*ChaosResult, error) {
 	}
 	res := &ChaosResult{Cfg: cfg, FootprintBytes: footprint}
 
+	// Every (factor, kill) replay builds its own cluster, pool, and
+	// trace, so the sweep fans out to params.SimWorkers goroutines with
+	// results in sweep order (factor-major, kill-minor).
+	type cell struct {
+		rf, kill int
+	}
+	var grid []cell
 	for _, rf := range cfg.Factors {
 		for kill := -1; kill < cfg.Devices; kill++ {
-			run, poolBytes, err := chaosRun(p, cfg, rf, kill, footprint, specs, profiles)
-			if err != nil {
-				return nil, fmt.Errorf("chaos rf=%d kill=%d: %w", rf, kill, err)
-			}
-			res.PoolBytes = poolBytes
-			res.Runs = append(res.Runs, run)
+			grid = append(grid, cell{rf, kill})
 		}
 	}
+	runs := make([]ChaosRun, len(grid))
+	pools := make([]int64, len(grid))
+	errs := make([]error, len(grid))
+	des.NewPool(p.SimWorkers).Each(len(grid), func(i int) {
+		runs[i], pools[i], errs[i] = chaosRun(p, cfg, grid[i].rf, grid[i].kill, footprint, specs, profiles)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("chaos rf=%d kill=%d: %w", grid[i].rf, grid[i].kill, err)
+		}
+	}
+	res.Runs = runs
+	res.PoolBytes = pools[len(pools)-1]
 	return res, nil
 }
 

@@ -149,17 +149,32 @@ func Fig10(p params.Params, cfg Fig10Config) (*Fig10Result, error) {
 	}
 	profiles := BuildProfiles(ms)
 
-	res := &Fig10Result{Cfg: cfg, Functions: names}
+	// The design×fraction grid: every cell builds its own cluster and
+	// replays the same trace, so the cells are independent and fan out
+	// to params.SimWorkers goroutines. Results land in grid order
+	// (fraction-major, design-minor), so the report — and every
+	// fingerprint — is byte-identical at any worker count.
+	type cell struct {
+		frac float64
+		d    Design
+	}
+	var grid []cell
 	for _, frac := range cfg.MemoryFractions {
 		for _, d := range Fig10Designs {
-			run, err := fig10Run(p, cfg, d, frac, specs, profiles)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s@%.0f%%: %w", d, 100*frac, err)
-			}
-			res.Runs = append(res.Runs, run)
+			grid = append(grid, cell{frac, d})
 		}
 	}
-	return res, nil
+	runs := make([]Fig10Run, len(grid))
+	errs := make([]error, len(grid))
+	des.NewPool(p.SimWorkers).Each(len(grid), func(i int) {
+		runs[i], errs[i] = fig10Run(p, cfg, grid[i].d, grid[i].frac, specs, profiles)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s@%.0f%%: %w", grid[i].d, 100*grid[i].frac, err)
+		}
+	}
+	return &Fig10Result{Cfg: cfg, Functions: names, Runs: runs}, nil
 }
 
 func fig10Run(p params.Params, cfg Fig10Config, d Design, frac float64, specs []faas.Spec, profiles map[porter.ProfileKey]porter.Profile) (Fig10Run, error) {

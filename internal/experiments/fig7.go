@@ -11,15 +11,19 @@ import (
 )
 
 // MeasureAll runs the cold-start measurement protocol for every function
-// in specs.
+// in specs. Each function's protocol builds its own environment, so the
+// legs are independent and fan out to params.SimWorkers goroutines;
+// results land in spec order either way (DESIGN.md §13).
 func MeasureAll(p params.Params, specs []faas.Spec, scens []Scenario) ([]*FnMeasurement, error) {
-	var out []*FnMeasurement
-	for _, s := range specs {
-		fm, err := MeasureFunction(p, s, scens)
+	out := make([]*FnMeasurement, len(specs))
+	errs := make([]error, len(specs))
+	des.NewPool(p.SimWorkers).Each(len(specs), func(i int) {
+		out[i], errs[i] = MeasureFunction(p, specs[i], scens)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("measuring %s: %w", s.Name, err)
+			return nil, fmt.Errorf("measuring %s: %w", specs[i].Name, err)
 		}
-		out = append(out, fm)
 	}
 	return out, nil
 }

@@ -77,18 +77,22 @@ func LaneSweep(p params.Params, fnName string, laneCounts []int) (*LaneSweepResu
 	if len(laneCounts) == 0 {
 		laneCounts = DefaultLaneCounts
 	}
-	res := &LaneSweepResult{Function: fnName}
-	for _, lanes := range laneCounts {
+	// Points build fresh environments, so they fan out to
+	// params.SimWorkers goroutines; the slice keeps sweep order.
+	points := make([]LanePoint, len(laneCounts))
+	errs := make([]error, len(laneCounts))
+	des.NewPool(p.SimWorkers).Each(len(laneCounts), func(i int) {
 		pp := p
-		pp.CheckpointLanes = lanes
-		pp.RestoreLanes = lanes
-		pt, err := laneSweepPoint(pp, spec, lanes)
+		pp.CheckpointLanes = laneCounts[i]
+		pp.RestoreLanes = laneCounts[i]
+		points[i], errs[i] = laneSweepPoint(pp, spec, laneCounts[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		res.Points = append(res.Points, pt)
 	}
-	return res, nil
+	return &LaneSweepResult{Function: fnName, Points: points}, nil
 }
 
 // laneSweepPoint measures one lane count on a fresh environment.

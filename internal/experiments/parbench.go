@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"cxlfork/internal/des"
+	"cxlfork/internal/params"
+)
+
+// ParBench is the engine-throughput benchmark of the sharded simulator
+// (DESIGN.md §13): N nodes, each running a chain of checkpoint
+// requests as lane-pipelined chunk copies on its own event queue, with
+// every sealed image replicated to the next node over the fabric. The
+// replication transfer is the minimum cross-node latency, so it is
+// also the epoch lookahead window. The workload is built so
+// same-timestamp events on different nodes commute (receives only add
+// to counters), which makes the per-node trajectories — and the folded
+// fingerprint — byte-identical between the unified single-queue engine
+// (workers <= 1) and the sharded epoch engine at any worker count.
+
+// ParBenchConfig shapes the benchmark workload.
+type ParBenchConfig struct {
+	// Nodes is the cluster size — one event-queue shard per node.
+	Nodes int
+	// Requests is the checkpoint-request chain length per node.
+	Requests int
+	// Lanes is the per-node checkpoint lane count.
+	Lanes int
+	// Pages is the per-image data page count; it sizes both the lane
+	// pipelines and the replication transfer (the lookahead window).
+	Pages int
+	// Workers is the engine worker count; <= 1 selects the unified
+	// single-queue baseline engine.
+	Workers int
+	// Think is the per-node gap between a sealed image and the next
+	// request (default 1ms).
+	Think des.Time
+}
+
+// DefaultParBenchConfig is the trajectory harness' 64-node point.
+func DefaultParBenchConfig() ParBenchConfig {
+	return ParBenchConfig{
+		Nodes:    64,
+		Requests: 40,
+		Lanes:    4,
+		Pages:    4096,
+		Workers:  1,
+		Think:    des.Millisecond,
+	}
+}
+
+// ParBenchResult is one benchmark run's measurements.
+type ParBenchResult struct {
+	Cfg ParBenchConfig
+	// Events is the number of simulation events dispatched.
+	Events uint64
+	// SimTime is the virtual-time frontier when the queues drained.
+	SimTime des.Time
+	// Wall is the host wall-clock cost of the run.
+	Wall time.Duration
+	// Epochs is the barrier count (0 on the unified engine).
+	Epochs uint64
+	// Requests is the total completed checkpoint requests.
+	Requests int64
+	// ReplicaPages is the total pages received over the fabric.
+	ReplicaPages int64
+	// Fingerprint folds the per-node trajectories in node order; it
+	// must be identical at every worker count.
+	Fingerprint uint64
+}
+
+// EventsPerSec is the dispatch throughput over the host wall clock.
+func (r *ParBenchResult) EventsPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.Wall.Seconds()
+}
+
+// SimSecPerWallSec is how much virtual time one wall second buys.
+func (r *ParBenchResult) SimSecPerWallSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return r.SimTime.Seconds() / r.Wall.Seconds()
+}
+
+// parNode is one node's benchmark state. Only its owning shard touches
+// the request chain; replicaPages and maxT are also bumped by receive
+// events, which commute (counter adds) by construction.
+type parNode struct {
+	done         int64
+	pagesCopied  int64
+	replicaPages int64
+	lastT        des.Time
+	maxT         des.Time
+}
+
+// chunkPages is the page granularity of one lane copy event, matching
+// the stream-chunk granularity of the lane contention model.
+const chunkPages = 32
+
+// ParBench runs the benchmark and measures engine throughput.
+func ParBench(p params.Params, cfg ParBenchConfig) *ParBenchResult {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 1
+	}
+	if cfg.Pages <= 0 {
+		cfg.Pages = 1
+	}
+	if cfg.Think <= 0 {
+		cfg.Think = des.Millisecond
+	}
+	// The replication transfer is the smallest cross-node message, so
+	// its cost is the fabric hop floor the epoch window derives from.
+	hop := p.CXLLatency + des.Time(cfg.Pages)*p.CXLWritePage
+	fab := des.NewFabric(cfg.Nodes, cfg.Workers, hop)
+
+	nodes := make([]parNode, cfg.Nodes)
+	start := time.Now()
+	for i := 0; i < cfg.Nodes; i++ {
+		i := i
+		eng := fab.Shard(i)
+		n := &nodes[i]
+
+		perLane := (cfg.Pages + cfg.Lanes - 1) / cfg.Lanes
+		var request func(r int)
+		seal := func(r int) {
+			t := eng.Now()
+			n.done++
+			n.lastT = t
+			if t > n.maxT {
+				n.maxT = t
+			}
+			// Replicate the sealed image to the next node: one fabric
+			// transfer, received as a commutative counter bump.
+			dst := (i + 1) % cfg.Nodes
+			pages := cfg.Pages
+			fab.Send(i, dst, hop, func() {
+				d := &nodes[dst]
+				d.replicaPages += int64(pages)
+				rt := fab.Shard(dst).Now()
+				if rt > d.maxT {
+					d.maxT = rt
+				}
+			})
+			if r+1 < cfg.Requests {
+				eng.After(cfg.Think, func() { request(r + 1) })
+			}
+		}
+		request = func(r int) {
+			// Lanes drain their page shards as chained chunk copies;
+			// the request seals when the last lane finishes.
+			remaining := cfg.Lanes
+			for l := 0; l < cfg.Lanes; l++ {
+				var step func(left int)
+				step = func(left int) {
+					if left <= 0 {
+						n.pagesCopied += int64(perLane)
+						remaining--
+						if remaining == 0 {
+							seal(r)
+						}
+						return
+					}
+					c := chunkPages
+					if left < c {
+						c = left
+					}
+					eng.After(des.Time(c)*p.CXLWritePage, func() { step(left - c) })
+				}
+				eng.After(des.Time(l+1)*p.LaneDispatch, func() { step(perLane) })
+			}
+		}
+		// Stagger node starts so the ramp is not one synchronized spike.
+		eng.At(des.Time(i)*p.LaneDispatch, func() { request(0) })
+	}
+	fab.Run()
+	wall := time.Since(start)
+
+	res := &ParBenchResult{
+		Cfg:     cfg,
+		Events:  fab.Executed(),
+		Wall:    wall,
+		SimTime: frontier(fab),
+	}
+	if se, ok := fab.(*des.ShardedEngine); ok {
+		res.Epochs = se.Epochs()
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	fold := func(vs ...uint64) {
+		for _, v := range vs {
+			for b := 0; b < 8; b++ {
+				h ^= (v >> (8 * b)) & 0xff
+				h *= prime
+			}
+		}
+	}
+	for i := range nodes {
+		n := &nodes[i]
+		fold(uint64(n.done), uint64(n.pagesCopied), uint64(n.replicaPages),
+			uint64(n.lastT), uint64(n.maxT))
+		res.Requests += n.done
+		res.ReplicaPages += n.replicaPages
+	}
+	res.Fingerprint = h
+	return res
+}
+
+// frontier returns the fabric's virtual-time high water mark.
+func frontier(fab des.Fabric) des.Time {
+	if se, ok := fab.(*des.ShardedEngine); ok {
+		return se.Now()
+	}
+	return fab.Shard(0).Now()
+}
+
+// ParBenchSweepResult is the worker-count sweep at one node count.
+type ParBenchSweepResult struct {
+	Cfg  ParBenchConfig
+	Runs []*ParBenchResult
+}
+
+// ParBenchSweep runs the benchmark at each worker count and errors if
+// any run's fingerprint diverges from the 1-worker baseline — the
+// determinism contract of DESIGN.md §13, enforced on every sweep.
+func ParBenchSweep(p params.Params, cfg ParBenchConfig, workers []int) (*ParBenchSweepResult, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 8}
+	}
+	res := &ParBenchSweepResult{Cfg: cfg}
+	for _, w := range workers {
+		c := cfg
+		c.Workers = w
+		res.Runs = append(res.Runs, ParBench(p, c))
+	}
+	base := res.Runs[0]
+	for _, r := range res.Runs[1:] {
+		if r.Fingerprint != base.Fingerprint {
+			return nil, fmt.Errorf("parbench: fingerprint diverged at %d workers: %#x != %#x (workers=%d)",
+				r.Cfg.Workers, r.Fingerprint, base.Fingerprint, base.Cfg.Workers)
+		}
+		if r.Events != base.Events || r.Requests != base.Requests {
+			return nil, fmt.Errorf("parbench: event counts diverged at %d workers: %d events / %d requests vs %d / %d",
+				r.Cfg.Workers, r.Events, r.Requests, base.Events, base.Requests)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the sweep as an aligned table.
+func (r *ParBenchSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Parallel engine sweep · %d nodes × %d requests × %d lanes × %d pages\n",
+		r.Cfg.Nodes, r.Cfg.Requests, r.Cfg.Lanes, r.Cfg.Pages)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workers\tengine\tevents\tepochs\tev/sec\tsim-s/wall-s\tspeedup\tfingerprint")
+	base := r.Runs[0].EventsPerSec()
+	for _, run := range r.Runs {
+		engine := "sharded"
+		if run.Cfg.Workers <= 1 {
+			engine = "unified"
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = run.EventsPerSec() / base
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.2fM\t%.0f\t%.2fx\t%#x\n",
+			run.Cfg.Workers, engine, run.Events, run.Epochs,
+			run.EventsPerSec()/1e6, run.SimSecPerWallSec(), speedup, run.Fingerprint)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "fingerprints are byte-identical across worker counts (checked)")
+}

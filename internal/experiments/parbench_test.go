@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallParBenchConfig shrinks the benchmark so determinism checks stay
+// fast while still crossing epochs and replication sends.
+func smallParBenchConfig() ParBenchConfig {
+	cfg := DefaultParBenchConfig()
+	cfg.Nodes = 8
+	cfg.Requests = 6
+	cfg.Pages = 512
+	return cfg
+}
+
+func TestParBenchFingerprintWorkerInvariant(t *testing.T) {
+	p := ExpParams()
+	r, err := ParBenchSweep(p, smallParBenchConfig(), []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(r.Runs))
+	}
+	base := r.Runs[0]
+	if base.Requests != 8*6 {
+		t.Fatalf("completed %d requests, want %d", base.Requests, 8*6)
+	}
+	if base.ReplicaPages != 8*6*512 {
+		t.Fatalf("replicated %d pages, want %d", base.ReplicaPages, 8*6*512)
+	}
+	for _, run := range r.Runs {
+		if run.Fingerprint != base.Fingerprint {
+			t.Fatalf("workers=%d fingerprint %#x != baseline %#x",
+				run.Cfg.Workers, run.Fingerprint, base.Fingerprint)
+		}
+		if run.Events != base.Events {
+			t.Fatalf("workers=%d executed %d events, baseline %d",
+				run.Cfg.Workers, run.Events, base.Events)
+		}
+		if run.SimTime != base.SimTime {
+			t.Fatalf("workers=%d sim frontier %v, baseline %v",
+				run.Cfg.Workers, run.SimTime, base.SimTime)
+		}
+	}
+	// The unified baseline runs no epochs; the sharded runs must.
+	if base.Epochs != 0 {
+		t.Fatalf("unified engine reported %d epochs", base.Epochs)
+	}
+	for _, run := range r.Runs[1:] {
+		if run.Epochs == 0 {
+			t.Fatalf("workers=%d sharded run reported no epochs", run.Cfg.Workers)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Parallel engine sweep", "unified", "sharded", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParBenchRepeatedRunsIdentical(t *testing.T) {
+	p := ExpParams()
+	cfg := smallParBenchConfig()
+	cfg.Workers = 4
+	a := ParBench(p, cfg)
+	b := ParBench(p, cfg)
+	if a.Fingerprint != b.Fingerprint || a.Events != b.Events || a.Epochs != b.Epochs {
+		t.Fatalf("repeated runs diverged: %#x/%d/%d vs %#x/%d/%d",
+			a.Fingerprint, a.Events, a.Epochs, b.Fingerprint, b.Events, b.Epochs)
+	}
+}
+
+func TestParBenchSingleNode(t *testing.T) {
+	p := ExpParams()
+	cfg := smallParBenchConfig()
+	cfg.Nodes = 1
+	cfg.Workers = 2
+	r := ParBench(p, cfg)
+	if r.Requests != 6 {
+		t.Fatalf("single node completed %d requests, want 6", r.Requests)
+	}
+	one := ParBench(p, ParBenchConfig{Nodes: 1, Requests: 6, Lanes: cfg.Lanes, Pages: cfg.Pages, Workers: 1, Think: cfg.Think})
+	if r.Fingerprint != one.Fingerprint {
+		t.Fatalf("single-node fingerprints diverge across engines: %#x vs %#x", r.Fingerprint, one.Fingerprint)
+	}
+}

@@ -96,6 +96,18 @@ func (r *LatencyRecorder) Quantile(p float64) des.Time {
 	return des.Time(math.Round(a + frac*(b-a)))
 }
 
+// Presort sorts the sample buffer ahead of percentile queries, so a
+// worker pool can pay the O(n log n) for many recorders in parallel
+// before a sequential summary pass reads them. Sorting is the
+// recorders' only deferred work; after Presort, Percentile and
+// Quantile are read-only until the next Record.
+func (r *LatencyRecorder) Presort() {
+	if !r.sorted && len(r.samples) > 0 {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	}
+	r.sorted = true
+}
+
 // P50 returns the median.
 func (r *LatencyRecorder) P50() des.Time { return r.Percentile(50) }
 

@@ -281,6 +281,17 @@ type Params struct {
 	// manager: trigger an early reclaim pass toward the low watermark
 	// and tighten checkpoint admission to it while the alert is active.
 	SLODriveReclaim bool
+
+	// ---- Simulation engine (DESIGN.md §13) ----
+
+	// SimWorkers is the simulation's worker count. At 1 (the default)
+	// everything runs on the legacy sequential engine. Above 1,
+	// independent simulation legs (per-function calibration, sweep
+	// points, design grids) fan out to a worker pool, and multi-node
+	// fabric workloads run on the sharded epoch-barrier engine with
+	// per-node event queues. Results are byte-identical at any worker
+	// count; workers only change wall-clock time.
+	SimWorkers int
 }
 
 // Default returns the calibrated parameter set matching the paper's
@@ -370,7 +381,18 @@ func Default() Params {
 		SLOWindowShort:     1 * des.Second,
 		SLOWindowLong:      5 * des.Second,
 		SLOBurnFactor:      2,
+
+		SimWorkers: 1,
 	}
+}
+
+// FabricHop is the minimum cross-node delivery latency: the cost of
+// pushing one page through the fabric plus the switch traversal. The
+// sharded engine derives its epoch lookahead window from it — no
+// cross-node message can arrive sooner, so shards may run that far
+// ahead without observing each other (DESIGN.md §13).
+func (p Params) FabricHop() des.Time {
+	return p.CXLLatency + p.CXLWritePage
 }
 
 // Pages converts a byte count to a page count, rounding up.

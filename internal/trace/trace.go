@@ -94,6 +94,11 @@ type Tracer struct {
 	dropped  int64
 	phases   *metrics.PhaseStats
 	flowEnds map[int][]des.Time // per node: end time of the last span on each flow track
+	// spanFree recycles shard-span buffers between CollectShards and
+	// EmitShards (DESIGN.md §13): every checkpoint/restore pipeline
+	// borrows one buffer for the duration of its (synchronous) makespan
+	// computation, so steady-state tracing allocates no span slices.
+	spanFree [][]ShardSpan
 }
 
 // New returns an enabled tracer holding at most bufferCap events
@@ -214,12 +219,21 @@ type ShardSpan struct {
 // CollectShards returns a des.ShardObserver that appends each shard's
 // interval to the returned slice, for replay as lane spans once the
 // containing phase's begin time is known (EmitShards). A disabled
-// tracer returns (nil, nil) so the pipeline runs observer-free.
+// tracer returns (nil, nil) so the pipeline runs observer-free. The
+// backing buffer comes from the tracer's span free list; EmitShards
+// returns it, so paired Collect/Emit cycles allocate nothing once
+// warm. Error paths that skip EmitShards simply leak the buffer to the
+// garbage collector — recycling is an optimization, not an obligation.
 func (t *Tracer) CollectShards() (des.ShardObserver, *[]ShardSpan) {
 	if t == nil {
 		return nil, nil
 	}
-	spans := &[]ShardSpan{}
+	var buf []ShardSpan
+	if n := len(t.spanFree); n > 0 {
+		buf = t.spanFree[n-1][:0]
+		t.spanFree = t.spanFree[:n-1]
+	}
+	spans := &buf
 	return func(shard, lane int, start, end des.Time) {
 		*spans = append(*spans, ShardSpan{Shard: shard, Lane: lane, Start: start, End: end})
 	}, spans
@@ -228,6 +242,8 @@ func (t *Tracer) CollectShards() (des.ShardObserver, *[]ShardSpan) {
 // EmitShards emits one lane span per collected shard interval as
 // children of parent, shifting pipeline-relative intervals by begin.
 // name and pages map a shard index to its span name and unit count.
+// The span buffer is recycled into the tracer's free list; the caller
+// must not reuse it after this call.
 func (t *Tracer) EmitShards(parent SpanID, node int, begin des.Time, spans *[]ShardSpan, name func(shard int) string, pages func(shard int) int) {
 	if t == nil || spans == nil {
 		return
@@ -236,4 +252,6 @@ func (t *Tracer) EmitShards(parent SpanID, node int, begin des.Time, spans *[]Sh
 		t.Emit(parent, node, TrackLaneBase+s.Lane, CatLane, name(s.Shard),
 			begin+s.Start, s.End-s.Start, 0, pages(s.Shard))
 	}
+	t.spanFree = append(t.spanFree, (*spans)[:0])
+	*spans = nil
 }
