@@ -10,6 +10,7 @@
 //	cxlsim -exp fig10 -rps 150 -duration 60
 //	cxlsim -exp slo -telemetry      # burn-rate alerts driving reclaim
 //	cxlsim -exp parbench -workers 8 # sharded-engine sweep (DESIGN.md §13)
+//	cxlsim -exp fabric -workers 8   # topology sweep (DESIGN.md §14)
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, parbench, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, parbench, fabric, all")
 	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
 	rps := flag.Float64("rps", 150, "fig10/capacity/slo: aggregate request rate")
@@ -154,6 +155,19 @@ func main() {
 				return err
 			}
 			fmt.Fprint(w, experiments.FormatLaneSweep(r))
+		case "fabric":
+			cfg := experiments.DefaultFabricExpConfig()
+			if *rps != 150 {
+				cfg.RPS = *rps
+			}
+			if *duration != 60 {
+				cfg.Duration = des.Time(*duration * float64(des.Second))
+			}
+			r, err := experiments.FabricSweep(p, cfg)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
 		case "parbench":
 			cfg := experiments.DefaultParBenchConfig()
 			cfg.Nodes = *nodes
@@ -174,7 +188,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo", "chaos"}
+		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo", "chaos", "fabric"}
 	}
 	for i, id := range ids {
 		if i > 0 {

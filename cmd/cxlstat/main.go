@@ -51,6 +51,8 @@ func main() {
 	check := flag.Bool("check", false, "self-validate the Prometheus exposition and exit non-zero on malformed lines")
 	devices := flag.Int("devices", 0, "split the CXL capacity into this many pool devices (0 keeps the single device)")
 	rf := flag.Int("rf", 0, "replicate each checkpoint onto this many pool devices (0 keeps the default)")
+	switches := flag.Int("switches", 0, "run on an explicit grid fabric topology with this many switches (0 keeps the flat model)")
+	placement := flag.String("placement", "", "replica placement policy over the topology: hash or locality")
 	flag.Parse()
 
 	var fnList []string
@@ -69,6 +71,8 @@ func main() {
 		SLODrive:          *drive,
 		Devices:           *devices,
 		ReplicationFactor: *rf,
+		Switches:          *switches,
+		Placement:         *placement,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cxlstat: %v\n", err)

@@ -77,6 +77,10 @@ type Config struct {
 	// single-copy default, whose behaviour is byte-identical to builds
 	// without a pool.
 	Replication ReplicationConfig
+	// Fabric declares an explicit multi-switch topology and the replica
+	// placement policy run over it (DESIGN.md §14). The zero value
+	// keeps the flat single-hop fabric.
+	Fabric FabricConfig
 	// Telemetry tunes the virtual-time metric sampler (DESIGN.md §11).
 	// Like tracing, sampling is purely observational.
 	Telemetry TelemetryConfig
@@ -159,6 +163,24 @@ type ReplicationConfig struct {
 	FailoverTimeout time.Duration
 }
 
+// FabricConfig declares the CXL fabric topology (DESIGN.md §14). A
+// non-empty Topology is an internal/fabric spec — host/switch/device
+// declarations plus links with optional lat=/bw=/streams= attributes —
+// that the cluster builds into an explicit graph: the spec's device
+// count overrides ReplicationConfig.Devices, restores are routed from
+// the nearest healthy replica, and non-trivial topologies charge real
+// per-link path latency and stream contention on every restore.
+type FabricConfig struct {
+	// Topology is the fabric spec text ("" keeps the flat model). Use
+	// fabric.GridSpec for the canonical hosts × switches × devices
+	// layout.
+	Topology string
+	// Placement selects the replica placement policy: "hash" (default,
+	// pure consistent-hash ring) or "locality" (switch-spread,
+	// path-cost-reweighted ring).
+	Placement string
+}
+
 // DefaultConfig returns a two-node platform matching the paper's
 // testbed, with capacities sized for affordable simulation.
 func DefaultConfig() Config {
@@ -238,6 +260,12 @@ func (c Config) params() params.Params {
 	}
 	if c.Replication.FailoverTimeout > 0 {
 		p.ReplicaFailoverTimeout = des.Time(c.Replication.FailoverTimeout)
+	}
+	if c.Fabric.Topology != "" {
+		p.Topology = c.Fabric.Topology
+	}
+	if c.Fabric.Placement != "" {
+		p.PlacementPolicy = c.Fabric.Placement
 	}
 	if c.Telemetry.Enabled {
 		p.TelemetryEnabled = true

@@ -5,6 +5,7 @@ import (
 
 	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
+	"cxlfork/internal/fabric"
 	"cxlfork/internal/faultinject"
 	"cxlfork/internal/fsim"
 	"cxlfork/internal/kernel"
@@ -49,6 +50,17 @@ type Cluster struct {
 	// sequential; the pool only parallelizes legs that share nothing,
 	// so results are byte-identical at any worker count.
 	Sim *des.Pool
+
+	// Topo is the built fabric topology when params.Topology is set,
+	// else nil (flat single-hop model). The device pool is placed on
+	// it and its device count overrides params.CXLDevices.
+	Topo *fabric.Topology
+	// Net is the fabric contention model, non-nil only when Topo is
+	// present and non-trivial: a trivial (1-switch/1-device, default
+	// links) topology adds nothing over the flat model, so the porter
+	// skips fabric charging entirely and stays byte-identical to the
+	// pre-topology results (DESIGN.md §14).
+	Net *fabric.Net
 }
 
 // New builds a cluster of n nodes with the given parameters. All nodes
@@ -59,7 +71,25 @@ func New(p params.Params, n int) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
 	eng := des.NewEngine()
-	pool := cxl.NewDevicePool(p, p.CXLDevices)
+	var topo *fabric.Topology
+	ndev := p.CXLDevices
+	if p.Topology != "" {
+		spec, err := fabric.Parse(p.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		topo, err = spec.Build(p)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		ndev = topo.Devices()
+	}
+	pool := cxl.NewDevicePool(p, ndev)
+	if topo != nil {
+		if err := pool.Place(topo); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
 	dev := pool.Device(0)
 	fs := fsim.NewFS()
 	c := &Cluster{
@@ -71,6 +101,10 @@ func New(p params.Params, n int) (*Cluster, error) {
 		CXLFS:  fsim.NewCXLFS(dev),
 		Faults: faultinject.NewPlan(eng, 1),
 		Sim:    des.NewPool(p.SimWorkers),
+		Topo:   topo,
+	}
+	if topo != nil && !topo.Trivial() {
+		c.Net = fabric.NewNet(topo)
 	}
 	if p.TraceEnabled {
 		c.Trace = trace.New(p.TraceBufferCap)
@@ -79,6 +113,9 @@ func New(p params.Params, n int) (*Cluster, error) {
 		c.Telem = telemetry.New(p.SampleEvery, p.TelemetrySeriesCap)
 		pool.RegisterTelemetry(c.Telem)
 		c.Faults.RegisterTelemetry(c.Telem)
+		if c.Net != nil {
+			c.Net.RegisterTelemetry(c.Telem)
+		}
 	}
 	for i := 0; i < n; i++ {
 		node := kernel.NewOS(fmt.Sprintf("node%d", i), p, eng, dev, fs, p.NodeDRAMBytes)
@@ -102,6 +139,17 @@ func MustNew(p params.Params, n int) *Cluster {
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *kernel.OS { return c.Nodes[i] }
+
+// HostOf maps node i onto its fabric host index. Clusters with more
+// nodes than declared hosts wrap round-robin, so a small topology can
+// still serve a large replay; without a topology the mapping is
+// identity.
+func (c *Cluster) HostOf(i int) int {
+	if c.Topo == nil || c.Topo.Hosts() == 0 {
+		return i
+	}
+	return i % c.Topo.Hosts()
+}
 
 // WarmAll pulls a file into every node's page cache (image pre-pull, so
 // library faults are page-cache minors on steady-state nodes).

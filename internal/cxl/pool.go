@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cxlfork/internal/des"
+	"cxlfork/internal/fabric"
 	"cxlfork/internal/params"
 	"cxlfork/internal/telemetry"
 )
@@ -20,6 +21,11 @@ import (
 type DevicePool struct {
 	p    params.Params
 	devs []*Device
+
+	// topo is the fabric graph the devices are placed on, or nil for
+	// the flat (pre-topology) model. Placement layers consult it for
+	// path costs; the pool itself only validates the device count.
+	topo *fabric.Topology
 }
 
 // NewDevicePool creates a pool of n devices (n <= 0 is treated as 1).
@@ -44,6 +50,25 @@ func NewDevicePool(p params.Params, n int) *DevicePool {
 
 // N returns the number of devices in the pool (healthy or not).
 func (dp *DevicePool) N() int { return len(dp.devs) }
+
+// Place attaches the pool to a built fabric topology. Device i of the
+// pool occupies topology device index i, so the topology must declare
+// exactly N devices.
+func (dp *DevicePool) Place(t *fabric.Topology) error {
+	if t == nil {
+		dp.topo = nil
+		return nil
+	}
+	if t.Devices() != len(dp.devs) {
+		return fmt.Errorf("cxl: topology declares %d devices, pool has %d", t.Devices(), len(dp.devs))
+	}
+	dp.topo = t
+	return nil
+}
+
+// Topology returns the fabric graph the pool is placed on, or nil for
+// the flat model.
+func (dp *DevicePool) Topology() *fabric.Topology { return dp.topo }
 
 // Device returns device i. Out-of-range panics: device indices come
 // from placement decisions and are never guessed.

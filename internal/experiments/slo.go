@@ -9,6 +9,7 @@ import (
 	"cxlfork/internal/cluster"
 	"cxlfork/internal/des"
 	"cxlfork/internal/faas"
+	"cxlfork/internal/fabric"
 	"cxlfork/internal/params"
 	"cxlfork/internal/porter"
 	"cxlfork/internal/telemetry"
@@ -59,6 +60,12 @@ type TelemetryTraceConfig struct {
 	// checkpoint onto that many of them (DESIGN.md §12).
 	Devices           int
 	ReplicationFactor int
+	// Switches, when > 0, runs the replay on an explicit grid fabric
+	// topology of that many switches (hosts and the Devices pool
+	// round-robined across them, DESIGN.md §14); Placement selects the
+	// replica placement policy over it ("hash" or "locality").
+	Switches  int
+	Placement string
 }
 
 // TelemetryTraceResult is one telemetry-enabled replay: the sampled
@@ -132,6 +139,16 @@ func TelemetryTrace(p params.Params, cfg TelemetryTraceConfig) (*TelemetryTraceR
 	}
 	if cfg.ReplicationFactor > 0 {
 		p.ReplicationFactor = cfg.ReplicationFactor
+	}
+	if cfg.Switches > 0 {
+		ndev := cfg.Devices
+		if ndev < 1 {
+			ndev = 1
+		}
+		p.Topology = fabric.GridSpec(2, cfg.Switches, ndev)
+	}
+	if cfg.Placement != "" {
+		p.PlacementPolicy = cfg.Placement
 	}
 	out.DeviceBytes = p.CXLBytes
 

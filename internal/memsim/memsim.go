@@ -3,6 +3,7 @@ package memsim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Kind distinguishes pool placement, which determines access latency.
@@ -73,8 +74,10 @@ func (f *Frame) Get() *Frame {
 	return f
 }
 
-// poolIDs hands out unique pool identifiers for cache keys.
-var poolIDs uint32
+// poolIDs hands out unique pool identifiers for cache keys. Pools are
+// built concurrently when experiment legs fan out (DESIGN.md §13), so
+// the counter must be atomic; the ids themselves never cross legs.
+var poolIDs atomic.Uint32
 
 // Pool is a fixed-capacity set of frames.
 type Pool struct {
@@ -96,8 +99,7 @@ func NewPool(name string, kind Kind, capacityBytes int64, pageSize int) *Pool {
 		panic("memsim: invalid pool geometry")
 	}
 	n := int(capacityBytes / int64(pageSize))
-	poolIDs++
-	p := &Pool{name: name, id: poolIDs, kind: kind, pageSize: pageSize}
+	p := &Pool{name: name, id: poolIDs.Add(1), kind: kind, pageSize: pageSize}
 	p.frames = make([]Frame, n)
 	p.free = make([]int, n)
 	for i := range p.frames {
@@ -197,12 +199,16 @@ func (p *Pool) Frame(pfn int) *Frame {
 // Copy duplicates src's contents into dst (token copy).
 func Copy(dst, src *Frame) { dst.Data = src.Data }
 
-// tokenCounter hands out unique non-zero content tokens.
-var tokenCounter uint64
+// tokenCounter hands out unique non-zero content tokens. Like poolIDs
+// it is shared by concurrently-running experiment legs, so it must be
+// atomic. Only uniqueness matters: dedup compares tokens for equality,
+// and equal tokens come from copies, never from counter coincidence,
+// so the interleaving of counter values across legs cannot change any
+// leg's observable behaviour.
+var tokenCounter atomic.Uint64
 
 // NewToken returns a fresh unique content token, modelling a distinct
 // page content produced by a store.
 func NewToken() uint64 {
-	tokenCounter++
-	return tokenCounter
+	return tokenCounter.Add(1)
 }

@@ -245,6 +245,23 @@ type Params struct {
 	// replica before failing over to the next device on the list.
 	ReplicaFailoverTimeout des.Time
 
+	// ---- Fabric topology (DESIGN.md §14) ----
+
+	// Topology, when non-empty, is a fabric topology spec (the
+	// internal/fabric line DSL: host/switch/device/link declarations).
+	// The cluster builds it, places the device pool on it (the spec's
+	// device count overrides CXLDevices), and — unless the topology is
+	// trivial (one switch, one device, default links) — charges
+	// per-link path latency and stream contention on every restore.
+	// Empty keeps the flat single-hop model byte-for-byte.
+	Topology string
+	// PlacementPolicy selects how replica placement orders the device
+	// pool: "hash" (default; pure consistent-hash ring walk) or
+	// "locality" (ring walk reweighted to spread replicas across
+	// switches and prefer low mean path cost, DESIGN.md §14). Ignored
+	// without a Topology.
+	PlacementPolicy string
+
 	// ---- Telemetry and SLOs (DESIGN.md §11) ----
 
 	// TelemetryEnabled turns on the virtual-time metric sampler: every

@@ -10,6 +10,7 @@ import (
 	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
 	"cxlfork/internal/faas"
+	"cxlfork/internal/fabric"
 	"cxlfork/internal/kernel"
 	"cxlfork/internal/memsim"
 	"cxlfork/internal/metrics"
@@ -217,6 +218,15 @@ type Results struct {
 	// cold-start tail the capacity experiment compares eviction policies
 	// on.
 	ColdLatency *metrics.LatencyRecorder
+	// RestoreLatency records the restore phase of every checkpoint-fork
+	// spawn: the profile restore cost plus failover probing plus any
+	// fabric path/contention charge. It isolates what the fabric and
+	// the placement policy control from execution time and CPU
+	// queueing — the "restore P99" the fabric sweep compares policies
+	// on. Excluded from Fingerprint() (the flat goldens predate it);
+	// the same charges already reach the hash through Overall and
+	// ColdLatency.
+	RestoreLatency *metrics.LatencyRecorder
 	// ReclaimPasses counts watermark-triggered eviction passes.
 	ReclaimPasses int64
 	// EvictedCkpts counts checkpoints dropped by the eviction engine.
@@ -280,6 +290,23 @@ type Results struct {
 	TelemetryDropped int64
 	// SLOAlertsFired counts SLO burn-rate alert fire transitions.
 	SLOAlertsFired int64
+
+	// Fabric accounting, mirrored from the topology contention model
+	// (internal/fabric.Net) after the run; all zero on flat or trivial
+	// topologies. Excluded from Fingerprint() so the flat model's
+	// pinned goldens are untouched — fabric behaviour reaches the hash
+	// through the latency recorders and Duration instead.
+	//
+	// FabricTransfers counts restores priced by the fabric model.
+	FabricTransfers int64
+	// FabricQueued counts per-link stream-slot claims that had to wait.
+	FabricQueued int64
+	// FabricQueueDelay is cumulative virtual time spent waiting for
+	// link slots.
+	FabricQueueDelay des.Time
+	// FabricExtraDelay is the cumulative extra restore delay charged
+	// beyond the flat single-hop baseline.
+	FabricExtraDelay des.Time
 }
 
 // Throughput returns requests completed within the arrival window per
@@ -326,6 +353,10 @@ type Porter struct {
 	// single-device clusters, where every replication path degenerates
 	// to the original byte-identical behaviour.
 	rep *replica.Manager
+	// fabNet is the cluster's fabric contention model; nil when the
+	// topology is absent or trivial, in which case no restore is ever
+	// fabric-charged and the flat model stays byte-identical.
+	fabNet *fabric.Net
 	// backoffLog records every retry/failover backoff charged, in
 	// order — the deterministic schedule the backoff regression test
 	// compares across identically-seeded runs.
@@ -370,6 +401,7 @@ func New(c *cluster.Cluster, cfg Config) *Porter {
 	if c.Pool != nil && c.Pool.N() > 1 {
 		p.rep = replica.New(c.Pool, c.Eng, c.P)
 	}
+	p.fabNet = c.Net
 	p.parentUplink = des.NewResource(c.Eng, parentUplinkStreams)
 	budget := c.P.NodeDRAMBytes
 	if cfg.NodeBudgetBytes > 0 {

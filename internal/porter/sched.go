@@ -20,10 +20,11 @@ import (
 func (p *Porter) Run(trace []azure.Request) Results {
 	eng := p.c.Eng
 	p.res = Results{
-		Overall:     metrics.NewLatencyRecorder(),
-		PerFunction: make(map[string]*metrics.LatencyRecorder),
-		MemGauge:    make(map[string]*metrics.Gauge),
-		ColdLatency: metrics.NewLatencyRecorder(),
+		Overall:        metrics.NewLatencyRecorder(),
+		PerFunction:    make(map[string]*metrics.LatencyRecorder),
+		MemGauge:       make(map[string]*metrics.Gauge),
+		ColdLatency:    metrics.NewLatencyRecorder(),
+		RestoreLatency: metrics.NewLatencyRecorder(),
 	}
 	for fn := range p.fns {
 		p.res.PerFunction[fn] = metrics.NewLatencyRecorder()
@@ -175,6 +176,15 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	p.res.CkptRefused = cc.AdmitRefused.Value()
 	p.res.Recheckpoints = cc.Recheckpoints.Value()
 
+	// Fabric accounting: mirror the topology contention model's
+	// counters (all zero on flat or trivial topologies).
+	if p.fabNet != nil {
+		p.res.FabricTransfers = p.fabNet.Transfers()
+		p.res.FabricQueued = p.fabNet.Queued()
+		p.res.FabricQueueDelay = p.fabNet.QueueDelay()
+		p.res.FabricExtraDelay = p.fabNet.Charged()
+	}
+
 	// Observability accounting: surface tracer and telemetry data loss
 	// plus SLO activity in the results so run summaries can print them.
 	// None of these fields participate in Fingerprint().
@@ -189,7 +199,7 @@ func (p *Porter) Run(trace []azure.Request) Results {
 	// is already over — so SimWorkers > 1 cannot change any result,
 	// only the wall-clock cost of the O(n log n) at scale (a
 	// million-request trace sorts ~1M samples here).
-	recs := []*metrics.LatencyRecorder{p.res.Overall, p.res.ColdLatency}
+	recs := []*metrics.LatencyRecorder{p.res.Overall, p.res.ColdLatency, p.res.RestoreLatency}
 	for _, r := range p.res.PerFunction {
 		recs = append(recs, r)
 	}
@@ -368,6 +378,34 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 		p.c.Faults.Counters.Fallbacks.Inc()
 	}
 	dur += failoverDelay
+
+	// Fabric charge: price the restore's path latency and per-link
+	// stream contention from the nearest healthy replica to the chosen
+	// node (DESIGN.md §14). The stream is sized by the image's full
+	// footprint — a cold fork's remote traffic is the whole resident
+	// image, read over the fabric across restore and first execution —
+	// so a restore storm against one device genuinely saturates that
+	// device's link. Only non-trivial topologies carry a Net, and only
+	// the differential over the flat single-hop baseline is added —
+	// the flat model stays byte-identical.
+	var fabricExtra des.Time
+	if haveCkpt && p.fabNet != nil {
+		host := p.c.HostOf(node.os.Index)
+		dev := 0
+		if p.rep != nil {
+			if rimg, ok := img.(*replica.Image); ok {
+				if d := p.rep.NearestHealthy(rimg.Key(), host); d >= 0 {
+					dev = d
+				}
+			}
+		}
+		fabricExtra = p.fabNet.Restore(host, dev, prof.FootprintPages, p.c.Eng.Now())
+		dur += fabricExtra
+	}
+	if haveCkpt && p.res.RestoreLatency != nil {
+		p.res.RestoreLatency.Record(prof.Restore + failoverDelay + fabricExtra)
+	}
+
 	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
 	ownsCtr := false
 	if useGhost && haveCkpt {

@@ -6,6 +6,7 @@ import (
 
 	"cxlfork/internal/cxl"
 	"cxlfork/internal/des"
+	"cxlfork/internal/fabric"
 	"cxlfork/internal/metrics"
 	"cxlfork/internal/params"
 	"cxlfork/internal/rfork"
@@ -83,6 +84,13 @@ type Manager struct {
 	ring   []ringPoint
 	images map[string]*imageState
 
+	// topo is the pool's fabric topology (nil on flat pools); locality
+	// selects the "locality" placement policy, which reweights the
+	// ring walk to spread replicas across switches and prefer devices
+	// with low mean path cost (DESIGN.md §14).
+	topo     *fabric.Topology
+	locality bool
+
 	// C tallies placement, failover, shed, repair, and loss events.
 	C metrics.ReplicaCounters
 
@@ -103,11 +111,13 @@ func New(pool *cxl.DevicePool, eng *des.Engine, p params.Params) *Manager {
 		k = pool.N()
 	}
 	m := &Manager{
-		pool:   pool,
-		eng:    eng,
-		p:      p,
-		factor: k,
-		images: make(map[string]*imageState),
+		pool:     pool,
+		eng:      eng,
+		p:        p,
+		factor:   k,
+		images:   make(map[string]*imageState),
+		topo:     pool.Topology(),
+		locality: p.PlacementPolicy == "locality" && pool.Topology() != nil,
 	}
 	for d := 0; d < pool.N(); d++ {
 		for v := 0; v < vnodesPerDevice; v++ {
@@ -156,6 +166,108 @@ func (m *Manager) ringOrder(key string) []int {
 	return out
 }
 
+// load returns how many tracked images currently keep a replica on
+// device d — the signal locality placement balances within a switch.
+func (m *Manager) load(d int) int {
+	n := 0
+	for _, st := range m.images {
+		if _, ok := st.replicas[d]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// placeOrder returns the device order to try for key once the seed
+// devices (already chosen — the dedup-affinity ingest device on
+// placement, the surviving replicas on repair) are accounted for.
+// Policy "hash" is the pure ring walk. Policy "locality" greedily
+// reorders the walk: devices on switches no seed or earlier pick has
+// touched come first (replicas spread across failure/contention
+// domains), then fewer resident replicas (restore storms split across
+// a switch's devices instead of stacking on whichever device the ring
+// favours), then lower mean host-path cost, keeping ring position on
+// exact ties. All criteria are invariant under topology relabeling —
+// switch names only gate membership of the used set, never ordering —
+// so isomorphic specs place identically.
+func (m *Manager) placeOrder(key string, seed []int) []int {
+	ring := m.ringOrder(key)
+	if !m.locality {
+		return ring
+	}
+	used := make(map[string]bool)
+	for _, d := range seed {
+		if d >= 0 && d < m.pool.N() {
+			used[m.topo.DeviceSwitch(d)] = true
+		}
+	}
+	remaining := ring
+	out := make([]int, 0, len(remaining))
+	for len(remaining) > 0 {
+		best := 0
+		for i := 1; i < len(remaining); i++ {
+			d, b := remaining[i], remaining[best]
+			dUsed, bUsed := used[m.topo.DeviceSwitch(d)], used[m.topo.DeviceSwitch(b)]
+			if dUsed != bUsed {
+				if !dUsed {
+					best = i
+				}
+				continue
+			}
+			if dl, bl := m.load(d), m.load(b); dl != bl {
+				if dl < bl {
+					best = i
+				}
+				continue
+			}
+			if dc, bc := m.topo.DeviceCost(d), m.topo.DeviceCost(b); dc < bc {
+				best = i
+			}
+			// Exact tie: the earlier ring position wins (best stays).
+		}
+		d := remaining[best]
+		used[m.topo.DeviceSwitch(d)] = true
+		out = append(out, d)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return out
+}
+
+// NearestHealthy returns the healthy replica device for key with the
+// lowest path latency from host; -1 when key is unknown or every
+// replica is gone. Equal-latency candidates are spread
+// deterministically by (host, key) — equidistant replicas share the
+// restore load instead of funnelling every restore onto the
+// first-placed (ingest-affine) copy, which is what makes a sharded
+// pool actually shard. Without a topology it degenerates to the first
+// healthy entry of the preference list — the flat model's restore
+// source.
+func (m *Manager) NearestHealthy(key string, host int) int {
+	st := m.images[key]
+	if st == nil {
+		return -1
+	}
+	var cands []int
+	for _, d := range st.placed {
+		if _, live := st.replicas[d]; !live || m.pool.Failed(d) {
+			continue
+		}
+		if m.topo == nil {
+			return d
+		}
+		switch {
+		case len(cands) == 0 || m.topo.PathLat(host, d) == m.topo.PathLat(host, cands[0]):
+			cands = append(cands, d)
+		case m.topo.PathLat(host, d) < m.topo.PathLat(host, cands[0]):
+			cands = append(cands[:0], d)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[(uint64(host)+hashString(key))%uint64(len(cands))]
+}
+
 // sortedKeys returns the image keys in sorted order, the deterministic
 // iteration every pass uses.
 func (m *Manager) sortedKeys() []string {
@@ -195,7 +307,7 @@ func (m *Manager) Place(key, id, mech string, tokens []uint64, metaBytes int64, 
 			order = append(order, d)
 		}
 	}
-	for _, d := range m.ringOrder(key) {
+	for _, d := range m.placeOrder(key, order) {
 		if !seen[d] {
 			seen[d] = true
 			order = append(order, d)
@@ -410,10 +522,18 @@ func (m *Manager) RepairTick() int {
 	return copied
 }
 
-// startRepair stages a new replica arena for st on the first ring-order
-// device that is healthy and not already hosting a copy.
+// startRepair stages a new replica arena for st on the first
+// placement-order device (ring walk, locality-reweighted when the
+// policy asks — seeded with the surviving copies so the rebuilt
+// replica lands on an uncovered switch) that is healthy and not
+// already hosting a copy.
 func (m *Manager) startRepair(st *imageState) bool {
-	for _, d := range m.ringOrder(st.key) {
+	live := make([]int, 0, len(st.replicas))
+	for d := range st.replicas {
+		live = append(live, d)
+	}
+	sort.Ints(live)
+	for _, d := range m.placeOrder(st.key, live) {
 		if m.pool.Failed(d) {
 			continue
 		}
