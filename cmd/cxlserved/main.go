@@ -1,0 +1,80 @@
+// Command cxlserved is the live capacity-planning service
+// (DESIGN.md §15): it serves the HTTP API in docs/API.md, running each
+// posted workload spec as an isolated simulation session and streaming
+// its telemetry as NDJSON. On SIGINT/SIGTERM it stops admitting,
+// drains in-flight sessions within -drain, and exits 0.
+//
+// Usage:
+//
+//	cxlserved [-addr :8080] [-max-sessions 2] [-max-queue 4]
+//	          [-session-timeout 2m] [-max-virtual 5m] [-drain 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cxlfork/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 2, "concurrently running sessions")
+	maxQueue := flag.Int("max-queue", 4, "admission queue depth beyond the running slots")
+	sessionTimeout := flag.Duration("session-timeout", 2*time.Minute, "default per-session wall-clock timeout")
+	maxVirtual := flag.Duration("max-virtual", 5*time.Minute, "cap on a workload's virtual duration (negative: uncapped)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight sessions")
+	flag.Parse()
+
+	mgr := serve.NewManager(serve.Config{
+		MaxSessions:    *maxSessions,
+		MaxQueue:       *maxQueue,
+		SessionTimeout: *sessionTimeout,
+		MaxVirtual:     *maxVirtual,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cxlserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cxlserved: listening on %s (max-sessions %d, max-queue %d)\n",
+		ln.Addr(), *maxSessions, *maxQueue)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-sigCtx.Done():
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "cxlserved:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("cxlserved: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mgr.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlserved: drain deadline hit, sessions canceled:", err)
+	}
+	// Sessions have emitted their terminal frames; Shutdown now waits
+	// only for streams to flush their tails.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = srv.Close()
+	}
+	<-errCh
+	fmt.Println("cxlserved: bye")
+}

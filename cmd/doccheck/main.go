@@ -1,19 +1,24 @@
 // Command doccheck enforces the repository's documentation invariants.
 // CI runs it as the docs job; it exits non-zero listing every problem.
 //
-// Three checks:
+// Four checks:
 //
 //  1. Every Go package (root, internal/..., cmd/..., examples/...) has
 //     a package comment — godoc's first requirement, and this repo's
 //     convention is to keep it in a doc.go per package.
 //
-//  2. Every relative markdown link in the top-level documents resolves
-//     to an existing file, and every intra-document anchor to an
-//     existing heading. External http(s) links are not fetched.
+//  2. Every relative markdown link in the checked documents resolves
+//     to an existing file (relative to the document's own directory),
+//     and every intra-document anchor to an existing heading. External
+//     http(s) links are not fetched.
 //
 //  3. Every "DESIGN.md §N" style cross-reference names a section that
 //     actually exists (a "## N." heading), so doc comments and the
 //     markdown stay in sync when sections are renumbered.
+//
+//  4. Packages listed in exportedDocPackages are held to a stricter
+//     bar: every exported symbol (type, func, method, var, const) has
+//     its own doc comment, not just the package.
 //
 // Usage: go run ./cmd/doccheck [-root dir]
 package main
@@ -21,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -32,7 +38,12 @@ import (
 
 // markdownDocs are the documents whose links and cross-references are
 // checked. Package comments are checked for every package regardless.
-var markdownDocs = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"}
+var markdownDocs = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md", "PAPER.md", "docs/API.md"}
+
+// exportedDocPackages are checked symbol-by-symbol (check 4). The
+// serving layer is API surface for HTTP clients and the facade alike,
+// so its godoc must be complete.
+var exportedDocPackages = []string{"internal/serve"}
 
 func main() {
 	root := flag.String("root", ".", "repository root to check")
@@ -41,6 +52,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkPackageComments(*root)...)
 	problems = append(problems, checkMarkdown(*root)...)
+	problems = append(problems, checkExportedDocs(*root)...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -163,7 +175,9 @@ func checkMarkdown(root string) []string {
 				if file == "" {
 					continue
 				}
-				if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(file))); err != nil {
+				// Relative links resolve against the document's own
+				// directory (docs/API.md links differently than README.md).
+				if _, err := os.Stat(filepath.Join(filepath.Dir(path), filepath.FromSlash(file))); err != nil {
 					problems = append(problems, fmt.Sprintf("%s: broken link %q", doc, target))
 				}
 			}
@@ -172,6 +186,85 @@ func checkMarkdown(root string) []string {
 		for _, m := range designRef.FindAllStringSubmatch(text, -1) {
 			if !designSections[m[1]] {
 				problems = append(problems, fmt.Sprintf("%s: stale reference DESIGN.md §%s (no such section)", doc, m[1]))
+			}
+		}
+	}
+	return problems
+}
+
+// checkExportedDocs enforces check 4: in the listed packages, every
+// exported symbol carries a doc comment. A declaration group's comment
+// covers its specs, and a spec's own doc or trailing line comment also
+// counts — the same places godoc looks.
+func checkExportedDocs(root string) []string {
+	var problems []string
+	fset := token.NewFileSet()
+	for _, rel := range exportedDocPackages {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", rel, err))
+			continue
+		}
+		var pkgNames []string
+		for name := range pkgs {
+			pkgNames = append(pkgNames, name)
+		}
+		sort.Strings(pkgNames)
+		for _, pkgName := range pkgNames {
+			pkg := pkgs[pkgName]
+			var files []string
+			for f := range pkg.Files {
+				files = append(files, f)
+			}
+			sort.Strings(files)
+			for _, fname := range files {
+				relFile := filepath.ToSlash(filepath.Join(rel, filepath.Base(fname)))
+				for _, decl := range pkg.Files[fname].Decls {
+					problems = append(problems, undocumentedExports(relFile, decl)...)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// undocumentedExports reports the exported names in one top-level
+// declaration that lack a doc comment.
+func undocumentedExports(file string, decl ast.Decl) []string {
+	var problems []string
+	gap := func(kind, name string) string {
+		return fmt.Sprintf("%s: exported %s %s has no doc comment", file, kind, name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			problems = append(problems, gap(kind, d.Name.Name))
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+					problems = append(problems, gap("type", sp.Name.Name))
+				}
+			case *ast.ValueSpec:
+				covered := d.Doc != nil || sp.Doc != nil || sp.Comment != nil
+				for _, n := range sp.Names {
+					if n.IsExported() && !covered {
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						problems = append(problems, gap(kind, n.Name))
+					}
+				}
 			}
 		}
 	}

@@ -106,6 +106,17 @@ type TelemetryConfig struct {
 	// SeriesCap bounds each series' sample ring (default 4096); once
 	// full the oldest sample is overwritten and counted as dropped.
 	SeriesCap int
+	// SLOOccupancy, when non-zero, declares a device-occupancy
+	// objective (utilization fraction samples should stay at or below)
+	// evaluated by multi-window burn-rate alerts (DESIGN.md §11).
+	SLOOccupancy float64
+	// SLOColdStartP99, when non-zero, declares a cold-start tail
+	// objective: the running cold P99 should stay at or below this.
+	SLOColdStartP99 time.Duration
+	// SLODrive lets a firing occupancy alert drive the capacity
+	// manager (early reclaim toward the low watermark plus tightened
+	// admission) instead of only observing.
+	SLODrive bool
 }
 
 // CapacityConfig tunes checkpoint eviction on the shared device. The
@@ -275,6 +286,13 @@ func (c Config) params() params.Params {
 	}
 	if c.Telemetry.SeriesCap > 0 {
 		p.TelemetrySeriesCap = c.Telemetry.SeriesCap
+	}
+	if c.Telemetry.SLOOccupancy > 0 {
+		p.SLOOccupancy = c.Telemetry.SLOOccupancy
+		p.SLODriveReclaim = c.Telemetry.SLODrive
+	}
+	if c.Telemetry.SLOColdStartP99 > 0 {
+		p.SLOColdStartP99 = des.Time(c.Telemetry.SLOColdStartP99)
 	}
 	if c.Workers > 1 {
 		p.SimWorkers = c.Workers

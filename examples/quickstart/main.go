@@ -2,6 +2,10 @@
 // CXLfork and compare against a fresh cold start — the paper's core
 // promise in ~50 lines (checkpoint once, restore anywhere, share
 // read-only state over the CXL fabric).
+//
+// For the served path — the same simulations behind an HTTP API with
+// streaming telemetry — see examples/served/walkthrough.sh and
+// docs/API.md.
 package main
 
 import (

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Walkthrough for the cxlserved live serving mode: start the server,
+# stream a capacity-planning session, poll an async one, scrape the
+# server metrics, and shut down gracefully. Every request here is the
+# quickstart from README.md / docs/API.md; CI runs this script verbatim
+# as the cxlserved smoke job. Run from the repo root:
+#
+#   ./examples/served/walkthrough.sh
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+PORT="${PORT:-8080}"
+BASE="http://127.0.0.1:${PORT}"
+BIN="${TMPDIR:-/tmp}/cxlserved-walkthrough"
+
+go build -o "${BIN}" ./cmd/cxlserved
+"${BIN}" -addr "127.0.0.1:${PORT}" -max-sessions 2 -drain 30s &
+SERVED_PID=$!
+trap 'kill "${SERVED_PID}" 2>/dev/null || true' EXIT
+
+# Wait for the server to come up.
+for _ in $(seq 1 50); do
+  curl -sf "${BASE}/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "${BASE}/healthz"
+
+# Discover what the server accepts.
+curl -sf "${BASE}/v1/designs"
+echo
+
+# Stream a small Fig. 10-style what-if inline: NDJSON frames — hello,
+# one sample per telemetry tick, SLO alerts, the result, then eof.
+STREAM="$(curl -sf -N -X POST "${BASE}/v1/sessions?stream=1" \
+  --data-binary @examples/served/spec.json)"
+echo "${STREAM}" | head -n 2
+echo "..."
+echo "${STREAM}" | tail -n 2
+test -n "${STREAM}"
+echo "${STREAM}" | head -n 1 | grep -q '"type":"hello"'
+echo "${STREAM}" | tail -n 1 | grep -q '"type":"eof"'
+echo "${STREAM}" | tail -n 1 | grep -q '"reason":"complete"'
+
+# Submit asynchronously (202 + session id), then poll until done.
+REPLY="$(curl -sf -X POST "${BASE}/v1/sessions" \
+  --data-binary @examples/served/spec.json)"
+echo "${REPLY}"
+SID="$(echo "${REPLY}" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+for _ in $(seq 1 100); do
+  STATUS="$(curl -sf "${BASE}/v1/sessions/${SID}")"
+  echo "${STATUS}" | grep -q '"state":"done"' && break
+  sleep 0.2
+done
+echo "${STATUS}" | grep -q '"state":"done"'
+echo "${STATUS}" | grep -q '"fingerprint"'
+
+# Scrape the server-side metrics (Prometheus text format).
+curl -sf "${BASE}/metricz" | grep -E '^cxlserved_sessions_completed_total 2 [0-9]+$'
+
+# Graceful shutdown: SIGTERM drains in-flight sessions and exits 0.
+kill -TERM "${SERVED_PID}"
+wait "${SERVED_PID}"
+trap - EXIT
+echo "cxlserved walkthrough: OK"

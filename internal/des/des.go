@@ -100,6 +100,7 @@ type Engine struct {
 	events   eventHeap
 	free     []*event // recycled event structs; hot path is alloc-free
 	executed uint64
+	stopped  bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -203,16 +204,31 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// Stop makes the in-flight Run or RunUntil return after the current
+// event finishes, leaving the remaining queue unexecuted. It exists for
+// the serving layer's cancellation path: a session's telemetry sink —
+// which runs on the engine's own goroutine, inside an event — calls
+// Stop when its context is done, and the replay unwinds cleanly at the
+// next event boundary. Stop is terminal for the engine: the abandoned
+// queue is never drained, so a stopped simulation's partial results
+// must be treated as such (the facade surfaces this as ErrInterrupted).
+// Call it only from the goroutine running the engine.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
 // Run drains the event queue. Events may schedule further events.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.stopped && e.Step() {
 	}
 }
 
 // RunUntil processes events with timestamps <= deadline, then sets the
-// clock to the deadline.
+// clock to the deadline. A Stop from inside an event ends the loop
+// early without touching the clock.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 {
+	for !e.stopped && len(e.events) > 0 {
 		// Peek.
 		for len(e.events) > 0 && e.events[0].dead {
 			e.recycle(heap.Pop(&e.events).(*event))
@@ -230,7 +246,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		e.executed++
 		fn()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 }

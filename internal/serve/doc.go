@@ -1,0 +1,25 @@
+// Package serve is the live serving layer behind cmd/cxlserved
+// (DESIGN.md §15): an HTTP capacity-planning service that accepts
+// workload/what-if specs as JSON, runs each as an isolated concurrent
+// simulation session through the facade's RunWorkload entry point, and
+// streams the session's telemetry ticks, SLO alert transitions, and
+// final results as NDJSON frames.
+//
+// The package splits into four pieces. Spec (spec.go) is the wire
+// format: a JSON mirror of the facade Config plus a Workload and
+// per-session serving options, validated before admission. Session
+// (session.go) owns one run: its frame log, lifecycle state, pacing,
+// and cancellation. Manager (manager.go) is admission control: a
+// bounded set of concurrently running sessions plus a bounded FIFO
+// queue, rejecting beyond that with ErrSaturated (HTTP 429 +
+// Retry-After) and draining in-flight work on shutdown. NewHandler
+// (http.go) maps it all onto the HTTP API documented in docs/API.md,
+// with server-side metrics on /metricz in the same deterministic
+// Prometheus exposition format the telemetry exporters use.
+//
+// Serving never compromises determinism: a session's simulation is
+// byte-identical to the same Config and Workload run through
+// cxlfork.RunWorkload directly — streaming, pacing, and concurrent
+// neighbor sessions change wall-clock behaviour only. The golden test
+// in golden_test.go pins exactly that equivalence.
+package serve

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cxlfork"
+)
+
+// TestServedFingerprintMatchesFacade is the serving layer's core
+// determinism guarantee: a spec POSTed to the HTTP API must produce a
+// result fingerprint byte-identical to the same Config and Workload
+// run through cxlfork.RunWorkload directly — streaming, telemetry, and
+// the transport change nothing about the simulation.
+func TestServedFingerprintMatchesFacade(t *testing.T) {
+	for _, design := range []string{"CXLfork", "CRIU-CXL"} {
+		t.Run(design, func(t *testing.T) {
+			spec := fastSpec()
+			spec.Workload.Design = design
+			spec.Workload.Weights = map[string]float64{"Float": 2}
+
+			// Served path.
+			m := NewManager(Config{MaxSessions: 1})
+			defer drainNow(t, m)
+			srv := httptest.NewServer(NewHandler(m))
+			defer srv.Close()
+			resp := postSpec(t, srv.Client(), srv.URL+"/v1/sessions", spec)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+			}
+			var sum struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+				t.Fatalf("decode submit reply: %v", err)
+			}
+			resp.Body.Close()
+			served := pollReport(t, srv, sum.ID)
+
+			// Direct facade path: same spec, no serving hooks at all
+			// (telemetry stays off — sampling must be observational).
+			cfg, wl := spec.build()
+			direct, err := cxlfork.RunWorkload(cfg, wl, nil)
+			if err != nil {
+				t.Fatalf("RunWorkload: %v", err)
+			}
+
+			if served.Fingerprint != direct.Fingerprint {
+				t.Fatalf("fingerprint drift: served %s, direct %s", served.Fingerprint, direct.Fingerprint)
+			}
+			if served.Completed != direct.Completed || served.P99 != direct.P99 {
+				t.Fatalf("result drift: served %+v, direct %+v", served, direct)
+			}
+			if served.TelemetryTicks == 0 {
+				t.Fatal("served run recorded no telemetry ticks")
+			}
+		})
+	}
+}
+
+// pollReport polls the session status endpoint until the session is
+// terminal and returns its report — the non-streaming client shape.
+func pollReport(t *testing.T, srv *httptest.Server, id string) *cxlfork.RunReport {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := srv.Client().Get(srv.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatalf("GET session: %v", err)
+		}
+		var sum struct {
+			State  State              `json:"state"`
+			Report *cxlfork.RunReport `json:"report"`
+			Error  string             `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sum)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode session: %v", err)
+		}
+		if sum.State.Terminal() {
+			if sum.State != StateDone {
+				t.Fatalf("session ended %s (%s)", sum.State, sum.Error)
+			}
+			return sum.Report
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never finished (state %s)", id, sum.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

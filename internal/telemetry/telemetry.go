@@ -162,6 +162,29 @@ type Registry struct {
 	series    []*Series // registration order — the sampling order
 	byKey     map[string]*Series
 	ticks     int64
+	sink      SinkFunc
+}
+
+// SinkFunc observes one completed sampling tick. The registry calls it
+// synchronously at the end of Sample, on the goroutine driving the
+// simulation, after every series has appended its point for `now` —
+// so a sink reading Series.Last sees a consistent cross-series cut of
+// the tick. Sinks are the streaming-export hook (DESIGN.md §15): the
+// serving layer converts each tick into a live telemetry frame. A sink
+// must not mutate the registry.
+type SinkFunc func(now des.Time)
+
+// SetSink installs fn as the registry's sampling sink (nil removes it).
+// At most one sink is supported; the owner of the registry decides.
+// Like every probe, the sink is observational: installing one changes
+// no sampled value, so runs with and without a sink stay byte-identical
+// — unless the sink itself stops the engine, which is exactly the
+// cancellation path the serving layer uses.
+func (r *Registry) SetSink(fn SinkFunc) {
+	if r == nil {
+		return
+	}
+	r.sink = fn
 }
 
 // New builds an enabled registry sampling nominally every `every`
@@ -237,6 +260,9 @@ func (r *Registry) Sample(now des.Time) {
 	r.ticks++
 	for _, s := range r.series {
 		s.append(now, s.probe(now))
+	}
+	if r.sink != nil {
+		r.sink(now)
 	}
 }
 
