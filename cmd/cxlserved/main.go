@@ -8,6 +8,11 @@
 //
 //	cxlserved [-addr :8080] [-max-sessions 2] [-max-queue 4]
 //	          [-session-timeout 2m] [-max-virtual 5m] [-drain 30s]
+//	          [-debug-addr localhost:6060]
+//
+// -debug-addr, when set, serves net/http/pprof on a second listener
+// (profiles, goroutine dumps, execution traces) — kept off the API
+// address so debug endpoints are never exposed where the API is.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,7 +38,24 @@ func main() {
 	sessionTimeout := flag.Duration("session-timeout", 2*time.Minute, "default per-session wall-clock timeout")
 	maxVirtual := flag.Duration("max-virtual", 5*time.Minute, "cap on a workload's virtual duration (negative: uncapped)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight sessions")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux; serve that mux on its
+		// own listener so the profiling surface stays off the API port.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cxlserved: debug listener:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cxlserved: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cxlserved: debug server:", err)
+			}
+		}()
+	}
 
 	mgr := serve.NewManager(serve.Config{
 		MaxSessions:    *maxSessions,

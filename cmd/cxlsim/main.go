@@ -11,6 +11,7 @@
 //	cxlsim -exp slo -telemetry      # burn-rate alerts driving reclaim
 //	cxlsim -exp parbench -workers 8 # sharded-engine sweep (DESIGN.md §13)
 //	cxlsim -exp fabric -workers 8   # topology sweep (DESIGN.md §14)
+//	cxlsim -exp xray                # critical-path blame (DESIGN.md §16)
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, parbench, fabric, all")
+	exp := flag.String("exp", "", "experiment id: table1, fig1, fig3c, fig6, fig7a, fig7b, fig8, fig9, fig10, ckpt, faults, scale, workflow, lanes, capacity, slo, chaos, parbench, fabric, xray, all")
 	lanesFn := flag.String("lanes-fn", "Float", "lanes: function to sweep")
 	invocations := flag.Int("invocations", 128, "fig1: invocations per function")
 	rps := flag.Float64("rps", 150, "fig10/capacity/slo: aggregate request rate")
@@ -168,6 +169,19 @@ func main() {
 				return err
 			}
 			r.Render(w)
+		case "xray":
+			cfg := experiments.DefaultXRayExpConfig()
+			if *rps != 150 {
+				cfg.Fabric.RPS = *rps
+			}
+			if *duration != 60 {
+				cfg.Fabric.Duration = des.Time(*duration * float64(des.Second))
+			}
+			r, err := experiments.XRaySweep(p, cfg)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
 		case "parbench":
 			cfg := experiments.DefaultParBenchConfig()
 			cfg.Nodes = *nodes
@@ -188,7 +202,7 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo", "chaos", "fabric"}
+		ids = []string{"table1", "fig1", "fig3c", "fig6", "fig7a", "fig8", "fig9", "ckpt", "faults", "scale", "workflow", "fig10", "capacity", "slo", "chaos", "fabric", "xray"}
 	}
 	for i, id := range ids {
 		if i > 0 {

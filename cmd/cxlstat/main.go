@@ -11,6 +11,7 @@
 //	cxlstat -format prom -o metrics.prom # Prometheus text exposition
 //	cxlstat -format prom -check          # validate the exposition shape
 //	cxlstat -rps 40 -duration 10 -fn Float,Json -slo 0.8 -drive
+//	cxlstat -xray -switches 2 -devices 4 -rf 3  # latency blame + link heatmap
 package main
 
 import (
@@ -53,6 +54,7 @@ func main() {
 	rf := flag.Int("rf", 0, "replicate each checkpoint onto this many pool devices (0 keeps the default)")
 	switches := flag.Int("switches", 0, "run on an explicit grid fabric topology with this many switches (0 keeps the flat model)")
 	placement := flag.String("placement", "", "replica placement policy over the topology: hash or locality")
+	xrayOn := flag.Bool("xray", false, "append the critical-path latency blame report (DESIGN.md §16)")
 	flag.Parse()
 
 	var fnList []string
@@ -73,6 +75,7 @@ func main() {
 		ReplicationFactor: *rf,
 		Switches:          *switches,
 		Placement:         *placement,
+		XRay:              *xrayOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cxlstat: %v\n", err)
@@ -110,6 +113,10 @@ func main() {
 		renderFollow(bw, reg, *filter, *width)
 	case *format == "summary":
 		renderSummary(bw, reg, res, *filter, *width)
+		if *xrayOn {
+			fmt.Fprintln(bw)
+			err = res.XRay.WriteText(bw)
+		}
 	case *format == "prom":
 		err = reg.WritePrometheus(bw)
 	case *format == "openmetrics":

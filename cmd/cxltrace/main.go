@@ -10,6 +10,7 @@
 //	cxltrace -fn Bert -mech criu -lanes 4
 //	cxltrace -scenario faults               # checkpoint fault + retry
 //	cxltrace -check -o trace.json           # self-validate the trace
+//	cxltrace -critical -o trace.json        # mark each op's critical path
 //
 // -check re-reads the written file, rebuilds the span stream from the
 // JSON, and verifies the structural invariants: spans nest, per-track
@@ -41,15 +42,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scenario := flag.String("scenario", "quickstart", "scenario: quickstart, faults")
 	check := flag.Bool("check", false, "re-read the written trace and verify its invariants")
+	critical := flag.Bool("critical", false, "mark each operation's critical path in the exported trace (args.critical=1)")
 	flag.Parse()
 
-	if err := run(*fn, *mech, *out, *lanes, *seed, *scenario, *check); err != nil {
+	if err := run(*fn, *mech, *out, *lanes, *seed, *scenario, *check, *critical); err != nil {
 		fmt.Fprintln(os.Stderr, "cxltrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fn, mechName, out string, lanes int, seed int64, scenario string, check bool) error {
+func run(fn, mechName, out string, lanes int, seed int64, scenario string, check, critical bool) error {
 	var mech cxlfork.MechanismKind
 	switch mechName {
 	case "cxlfork":
@@ -87,7 +89,11 @@ func run(fn, mechName, out string, lanes int, seed int64, scenario string, check
 	if err != nil {
 		return err
 	}
-	if err := sys.WriteTrace(f); err != nil {
+	write := sys.WriteTrace
+	if critical {
+		write = sys.WriteTraceCritical
+	}
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"cxlfork/internal/params"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/vma"
+	"cxlfork/internal/xray"
 )
 
 // Typed failure sentinels surfaced by checkpoint/restore paths. Test
@@ -69,6 +70,16 @@ type Config struct {
 	// tracer's default. Once full, further spans are counted as dropped
 	// and discarded.
 	TraceBufferCap int
+	// XRay enables critical-path latency attribution (DESIGN.md §16):
+	// every request's latency is decomposed into named blame
+	// components, fabric links report contention heat, and XRayReport
+	// (or RunReport.XRay for workload runs) exposes the deterministic
+	// blame report. Like tracing, attribution is purely observational
+	// — enabling it changes no simulated result.
+	XRay bool
+	// XRayExemplars bounds the worst-request exemplars kept per op
+	// class (0 keeps the attribution engine's default of 5).
+	XRayExemplars int
 	// Capacity tunes the device-capacity manager (checkpoint eviction
 	// under memory pressure, DESIGN.md §10). Zero values keep defaults.
 	Capacity CapacityConfig
@@ -296,6 +307,12 @@ func (c Config) params() params.Params {
 	}
 	if c.Workers > 1 {
 		p.SimWorkers = c.Workers
+	}
+	if c.XRay {
+		p.XRayEnabled = true
+	}
+	if c.XRayExemplars > 0 {
+		p.XRayExemplars = c.XRayExemplars
 	}
 	return p
 }
@@ -908,6 +925,18 @@ func (s *System) WriteTrace(w io.Writer) error {
 	return s.c.Trace.WriteChrome(w)
 }
 
+// WriteTraceCritical is WriteTrace with each root operation's critical
+// path marked ("critical":1 in the span's args): the deepest chain of
+// child spans that set the operation's end-to-end latency
+// (DESIGN.md §16). Readers unaware of the key parse the file exactly
+// as WriteTrace's.
+func (s *System) WriteTraceCritical(w io.Writer) error {
+	if !s.c.Trace.Enabled() {
+		return fmt.Errorf("cxlfork: tracing disabled (set Config.Trace)")
+	}
+	return s.c.Trace.WriteChromeCritical(w)
+}
+
 // PhaseLatency is one phase's latency distribution from the trace's
 // per-phase histograms. Phase names are "cat/name" (e.g.
 // "phase/struct-copy", "op/checkpoint", "fault/cow-cxl").
@@ -940,6 +969,26 @@ func (s *System) TracePhases() []PhaseLatency {
 		})
 	}
 	return out
+}
+
+// XRayEnabled reports whether the system runs critical-path latency
+// attribution (Config.XRay).
+func (s *System) XRayEnabled() bool { return s.c.XRay.Enabled() }
+
+// XRayReport builds a critical-path attribution report from the
+// recorded trace: every op span becomes a request whose direct phase
+// children are its blame components, with the remainder reported as
+// residual (DESIGN.md §16). Requires both Config.XRay and Config.Trace;
+// workload runs driven by RunWorkload instead get the porter's exact
+// per-request decomposition on RunReport.XRay.
+func (s *System) XRayReport() (*xray.Report, error) {
+	if !s.c.XRay.Enabled() {
+		return nil, fmt.Errorf("cxlfork: attribution disabled (set Config.XRay)")
+	}
+	if !s.c.Trace.Enabled() {
+		return nil, fmt.Errorf("cxlfork: attribution over ops needs a trace (set Config.Trace)")
+	}
+	return xray.FromSpans(s.c.Trace.Events(), s.c.P.XRayExemplars), nil
 }
 
 // MetricsFormat selects a telemetry export encoding for WriteMetrics.

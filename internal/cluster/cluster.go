@@ -12,6 +12,7 @@ import (
 	"cxlfork/internal/params"
 	"cxlfork/internal/telemetry"
 	"cxlfork/internal/trace"
+	"cxlfork/internal/xray"
 )
 
 // Cluster is a set of nodes sharing a CXL device pool and root
@@ -50,6 +51,14 @@ type Cluster struct {
 	// sequential; the pool only parallelizes legs that share nothing,
 	// so results are byte-identical at any worker count.
 	Sim *des.Pool
+
+	// XRay is the critical-path latency attribution engine, or nil
+	// when params.XRayEnabled is false. Like the tracer and the
+	// telemetry registry it is a pure observer: the porter feeds it
+	// per-request component timings and the fabric net feeds it
+	// per-link contention, and enabling it changes no simulated result
+	// (DESIGN.md §16).
+	XRay *xray.Attributor
 
 	// Topo is the built fabric topology when params.Topology is set,
 	// else nil (flat single-hop model). The device pool is placed on
@@ -105,6 +114,12 @@ func New(p params.Params, n int) (*Cluster, error) {
 	}
 	if topo != nil && !topo.Trivial() {
 		c.Net = fabric.NewNet(topo)
+	}
+	if p.XRayEnabled {
+		c.XRay = xray.New(topo, p.XRayExemplars)
+		if c.Net != nil {
+			c.Net.SetObserver(c.XRay.ObserveLink)
+		}
 	}
 	if p.TraceEnabled {
 		c.Trace = trace.New(p.TraceBufferCap)

@@ -167,7 +167,7 @@ func FabricSweep(p params.Params, cfg FabricExpConfig) (*FabricResult, error) {
 	pools := make([]int64, len(grid))
 	errs := make([]error, len(grid))
 	des.NewPool(p.SimWorkers).Each(len(grid), func(i int) {
-		runs[i], pools[i], errs[i] = fabricRun(p, cfg, grid[i].sw, grid[i].dev, grid[i].pol, footprint, specs, profiles)
+		runs[i], pools[i], _, errs[i] = fabricRun(p, cfg, grid[i].sw, grid[i].dev, grid[i].pol, footprint, specs, profiles)
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -179,8 +179,10 @@ func FabricSweep(p params.Params, cfg FabricExpConfig) (*FabricResult, error) {
 	return res, nil
 }
 
-// fabricRun is one replay on a GridSpec(nodes, sw, dev) topology.
-func fabricRun(p params.Params, cfg FabricExpConfig, sw, dev int, pol string, footprint int64, specs []faas.Spec, profiles map[porter.ProfileKey]porter.Profile) (FabricRun, int64, error) {
+// fabricRun is one replay on a GridSpec(nodes, sw, dev) topology. The
+// cluster is returned alongside the run so the xray experiment can
+// read attribution state off the same replay.
+func fabricRun(p params.Params, cfg FabricExpConfig, sw, dev int, pol string, footprint int64, specs []faas.Spec, profiles map[porter.ProfileKey]porter.Profile) (FabricRun, int64, *cluster.Cluster, error) {
 	if cfg.KeepAlive > 0 {
 		p.KeepAlive = cfg.KeepAlive
 	}
@@ -195,11 +197,11 @@ func fabricRun(p params.Params, cfg FabricExpConfig, sw, dev int, pol string, fo
 
 	c, err := cluster.New(p, cfg.Nodes)
 	if err != nil {
-		return FabricRun{}, 0, err
+		return FabricRun{}, 0, nil, err
 	}
 	po := porter.New(c, capacityPorterConfig(c, profiles, cfg.Seed))
 	if err := po.Setup(specs); err != nil {
-		return FabricRun{}, 0, err
+		return FabricRun{}, 0, nil, err
 	}
 
 	var names []string
@@ -234,7 +236,7 @@ func fabricRun(p params.Params, cfg FabricExpConfig, sw, dev int, pol string, fo
 	if rl := results.RestoreLatency; rl != nil && rl.Count() > 0 {
 		run.RestoreP99 = rl.P99()
 	}
-	return run, p.CXLBytes, nil
+	return run, p.CXLBytes, c, nil
 }
 
 // run returns the replay for (sw, dev, pol), or nil.

@@ -13,6 +13,7 @@ import (
 	"cxlfork/internal/params"
 	"cxlfork/internal/porter"
 	"cxlfork/internal/telemetry"
+	"cxlfork/internal/xray"
 )
 
 // The SLO experiment (DESIGN.md §11, EXPERIMENTS.md "-exp slo") closes
@@ -66,6 +67,13 @@ type TelemetryTraceConfig struct {
 	// replica placement policy over it ("hash" or "locality").
 	Switches  int
 	Placement string
+	// XRay enables critical-path attribution over the replay
+	// (DESIGN.md §16); the blame report lands on the result. Being
+	// observational, it leaves Results (and its fingerprint) unchanged.
+	XRay bool
+	// XRayExemplars bounds the worst-request exemplars kept per class
+	// (0 keeps the attribution default).
+	XRayExemplars int
 }
 
 // TelemetryTraceResult is one telemetry-enabled replay: the sampled
@@ -79,6 +87,9 @@ type TelemetryTraceResult struct {
 	// replay ran with.
 	FootprintBytes int64
 	DeviceBytes    int64
+	// XRay is the replay's attribution report, nil unless
+	// TelemetryTraceConfig.XRay was set.
+	XRay *xray.Report
 }
 
 // TelemetryTrace calibrates profiles, sizes the device, and replays
@@ -150,6 +161,10 @@ func TelemetryTrace(p params.Params, cfg TelemetryTraceConfig) (*TelemetryTraceR
 	if cfg.Placement != "" {
 		p.PlacementPolicy = cfg.Placement
 	}
+	if cfg.XRay {
+		p.XRayEnabled = true
+		p.XRayExemplars = cfg.XRayExemplars
+	}
 	out.DeviceBytes = p.CXLBytes
 
 	c := cluster.MustNew(p, 2)
@@ -177,6 +192,9 @@ func TelemetryTrace(p params.Params, cfg TelemetryTraceConfig) (*TelemetryTraceR
 	out.Results = po.Run(trace)
 	out.Registry = po.Telemetry()
 	out.Alerts = po.SLOAlerts()
+	if c.XRay.Enabled() {
+		out.XRay = c.XRay.Report()
+	}
 	return out, nil
 }
 

@@ -552,6 +552,43 @@ func (t *Topology) NearestDevice(h int, cands []int) int {
 	return best
 }
 
+// LinkLabel returns link li's human-readable label: both endpoint
+// names sorted lexicographically and joined with "-" — the stable key
+// attribution heatmaps render links under.
+func (t *Topology) LinkLabel(li int) string {
+	l := t.links[li]
+	a, b := t.names[l.a], t.names[l.b]
+	if b < a {
+		a, b = b, a
+	}
+	return a + "-" + b
+}
+
+// LinkSwitch returns the switch that owns link li for heat
+// aggregation: the lexicographically first switch endpoint. Every
+// valid link touches the switching layer, so this never returns ""
+// on a built topology.
+func (t *Topology) LinkSwitch(li int) string {
+	l := t.links[li]
+	best := ""
+	for _, n := range []int{l.a, l.b} {
+		if t.kinds[n] == kindSwitch && (best == "" || t.names[n] < best) {
+			best = t.names[n]
+		}
+	}
+	return best
+}
+
+// PathLinks returns a copy of the host h -> device d route's link
+// indices in traversal order — the per-link join attribution uses to
+// map a restore onto the heatmap.
+func (t *Topology) PathLinks(h, d int) []int {
+	return append([]int(nil), t.paths[h][d].links...)
+}
+
+// LinkStreams returns link li's concurrent full-rate stream capacity.
+func (t *Topology) LinkStreams(li int) int { return t.links[li].streams }
+
 // Trivial reports whether the topology collapses to the flat
 // single-hop model the rest of the simulator was calibrated on: one
 // switch, one device, and every link at its parameter-derived default.

@@ -30,7 +30,20 @@ type Net struct {
 	queued     int64
 	queueDelay des.Time
 	charged    des.Time
+
+	// obs, when set, observes every per-link stream-slot claim with
+	// its queue delay and service time. Purely informational: the
+	// callback runs after the link state is already updated and must
+	// not (and cannot, given the signature) change any computed
+	// duration — the attribution layer's read-only tap.
+	obs func(link int, wait, service des.Time)
 }
+
+// SetObserver installs a per-link claim observer: fn is called once
+// per link per transfer with the slot queue delay and page service
+// time just charged. Passing nil removes the observer. Observation is
+// read-only — transfer pricing is identical with or without one.
+func (n *Net) SetObserver(fn func(link int, wait, service des.Time)) { n.obs = fn }
 
 // NewNet wraps a built topology with fresh (idle) link state.
 func NewNet(t *Topology) *Net {
@@ -65,15 +78,21 @@ func (n *Net) Transfer(h, d, pages int, at des.Time) des.Time {
 			}
 		}
 		start := head
+		var wait des.Time
 		if slots[s] > start {
 			n.queued++
-			n.queueDelay += slots[s] - start
+			wait = slots[s] - start
+			n.queueDelay += wait
 			start = slots[s]
 		}
-		slots[s] = start + des.Time(pages)*l.perPage
+		service := des.Time(pages) * l.perPage
+		slots[s] = start + service
 		head = start + l.lat
 		if l.perPage > bottleneck {
 			bottleneck = l.perPage
+		}
+		if n.obs != nil {
+			n.obs(li, wait, service)
 		}
 	}
 	n.transfers++

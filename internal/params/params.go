@@ -299,6 +299,22 @@ type Params struct {
 	// and tighten checkpoint admission to it while the alert is active.
 	SLODriveReclaim bool
 
+	// ---- Critical-path attribution (DESIGN.md §16) ----
+
+	// XRayEnabled turns on the critical-path latency attribution
+	// engine: the porter decomposes every completed request's latency
+	// into named blame components (queueing, failover, fabric transit,
+	// restore service, execution), the fabric contention model reports
+	// per-link heat, and the run exposes a deterministic blame report.
+	// Attribution is purely observational — it never advances a clock
+	// or draws randomness — so enabling it changes no simulated result;
+	// disabled (the default) it is zero-overhead (nil-receiver pattern,
+	// same as tracing and telemetry).
+	XRayEnabled bool
+	// XRayExemplars bounds the top-K worst-request exemplars kept per
+	// op class (0 = the attribution engine's default of 5).
+	XRayExemplars int
+
 	// ---- Simulation engine (DESIGN.md §13) ----
 
 	// SimWorkers is the simulation's worker count. At 1 (the default)

@@ -202,3 +202,47 @@ func TestPressureShedsReplicasBeforeEvicting(t *testing.T) {
 		t.Fatalf("LostImages = %d, want 0", res.LostImages)
 	}
 }
+
+// TestDegradedRestoreBlameIsUnattributed pins the blame-accounting fix
+// for degrade-to-scratch: the probe and backoff time a request accrues
+// before exhausting its retry budget never reaches the restore-latency
+// recorder, so attribution must bank it in the unattributed counter
+// instead of dropping it silently — while changing nothing simulated.
+func TestDegradedRestoreBlameIsUnattributed(t *testing.T) {
+	run := func(attributed bool) (porter.Results, *cluster.Cluster) {
+		rules := []faultinject.Rule{
+			killRule(0, 2*des.Second),
+			killRule(1, 2*des.Second),
+		}
+		po, c := replicatedPorter(t, 3, 3, rules, func(p *params.Params) {
+			p.RestoreRetryBudget = 1
+			p.RepairPeriod = 10 * des.Minute
+			p.XRayEnabled = attributed
+		})
+		return po.Run(steadyTrace(40, 200*des.Millisecond)), c
+	}
+	plain, _ := run(false)
+	res, c := run(true)
+	if res.Fingerprint() != plain.Fingerprint() {
+		t.Fatalf("attribution perturbed the replay: %#x != %#x",
+			res.Fingerprint(), plain.Fingerprint())
+	}
+	if res.RetryExhausted == 0 || res.ScratchCold == 0 {
+		t.Fatalf("scenario did not degrade: exhausted=%d scratch=%d",
+			res.RetryExhausted, res.ScratchCold)
+	}
+	if c.XRay.UnattributedNS() == 0 {
+		t.Fatal("degraded restores banked no unattributed blame")
+	}
+	r := c.XRay.Report()
+	if r.UnattributedCount == 0 || r.UnattributedNS != c.XRay.UnattributedNS() {
+		t.Fatalf("report unattributed = %d over %d requests", r.UnattributedNS, r.UnattributedCount)
+	}
+	// Unattributed time is banked beside the decomposition, not inside
+	// it: every class still balances exactly.
+	for _, cb := range r.Classes {
+		if cb.ResidualNS != 0 {
+			t.Fatalf("class %s residual = %d after degrade", cb.Class, cb.ResidualNS)
+		}
+	}
+}

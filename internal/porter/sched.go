@@ -11,6 +11,7 @@ import (
 	"cxlfork/internal/replica"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/trace"
+	"cxlfork/internal/xray"
 )
 
 // Run replays an arrival trace and returns latency and utilization
@@ -264,8 +265,25 @@ func (p *Porter) serve(inst *instance, req *pending) {
 	prof := p.profile(inst.fn, inst.policy)
 	dur := p.jitter(prof.WarmExec)
 	p.res.WarmStarts++
+	submit := p.c.Eng.Now()
 	inst.node.cpu.Exec(dur, func(end des.Time) {
-		p.c.Trace.EmitFlow(inst.node.os.Index, trace.CatPorter, "warm-start", end-dur, dur, 0, 0)
+		span := p.c.Trace.EmitFlow(inst.node.os.Index, trace.CatPorter, "warm-start", end-dur, dur, 0, 0)
+		if p.c.XRay.Enabled() {
+			execStart := end - dur
+			p.c.XRay.Observe(xray.Request{
+				Class:   "warm-start",
+				Name:    inst.fn,
+				Span:    int(span),
+				Arrived: int64(req.arrived),
+				Latency: int64(end - req.arrived),
+				Device:  -1,
+				Components: []xray.Component{
+					{Name: xray.CompPorterQueue, NS: int64(submit - req.arrived)},
+					{Name: xray.CompCPUQueue, NS: int64(execStart - submit)},
+					{Name: xray.CompExec, NS: int64(dur)},
+				},
+			})
+		}
 		inst.warmRuns++
 		p.complete(inst, req, end)
 	})
@@ -280,6 +298,11 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 	st := p.fns[fn]
 	img, haveCkpt := p.store.Get(p.cfg.User, fn)
 	excluded := make(map[*nodeState]bool)
+
+	// t0 is the spawn decision instant; everything before it is porter
+	// queueing. probeNS/backoffNS split failoverDelay for attribution.
+	t0 := p.c.Eng.Now()
+	var probeNS, backoffNS des.Time
 
 	// Per-request retry budget, shared by replica failovers and
 	// node-down retries. Exhausting it degrades the request to a
@@ -317,7 +340,10 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 						haveCkpt = false
 						break
 					}
-					failoverDelay += p.c.P.ReplicaFailoverTimeout + p.backoff(attempts)
+					bo := p.backoff(attempts)
+					failoverDelay += p.c.P.ReplicaFailoverTimeout + bo
+					probeNS += p.c.P.ReplicaFailoverTimeout
+					backoffNS += bo
 					attempts++
 					p.c.Faults.Counters.Retries.Inc()
 				}
@@ -368,7 +394,9 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 				haveCkpt = false
 				continue
 			}
-			failoverDelay += p.backoff(attempts)
+			bo := p.backoff(attempts)
+			failoverDelay += bo
+			backoffNS += bo
 			attempts++
 			continue
 		}
@@ -377,6 +405,24 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 		haveCkpt = false
 		p.c.Faults.Counters.Fallbacks.Inc()
 	}
+	// Blame split of the jittered service core: the restore (or
+	// cold-init) share versus execution, proportional to the profile's
+	// unjittered parts with the integer remainder charged to exec, so
+	// the per-request component sum stays exact.
+	core := dur
+	var restoreSvc des.Time
+	restoreComp := xray.CompRestore
+	if haveCkpt {
+		if denom := prof.Restore + prof.ColdExec - prof.RemoteCopy; denom > 0 {
+			restoreSvc = des.Time(int64(core) * int64(prof.Restore) / int64(denom))
+		}
+	} else {
+		restoreComp = xray.CompColdInit
+		if denom := prof.ColdInit + prof.ColdInitExec; denom > 0 {
+			restoreSvc = des.Time(int64(core) * int64(prof.ColdInit) / int64(denom))
+		}
+	}
+	execSvc := core - restoreSvc
 	dur += failoverDelay
 
 	// Fabric charge: price the restore's path latency and per-link
@@ -389,6 +435,7 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 	// the differential over the flat single-hop baseline is added —
 	// the flat model stays byte-identical.
 	var fabricExtra des.Time
+	devIdx := -1
 	if haveCkpt && p.fabNet != nil {
 		host := p.c.HostOf(node.os.Index)
 		dev := 0
@@ -401,6 +448,7 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 		}
 		fabricExtra = p.fabNet.Restore(host, dev, prof.FootprintPages, p.c.Eng.Now())
 		dur += fabricExtra
+		devIdx = dev
 	}
 	if haveCkpt && p.res.RestoreLatency != nil {
 		p.res.RestoreLatency.Record(prof.Restore + failoverDelay + fabricExtra)
@@ -408,13 +456,16 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 
 	ghostPages := int(p.c.P.GhostContainerBytes / int64(p.c.P.PageSize))
 	ownsCtr := false
+	var containerNS des.Time
 	if useGhost && haveCkpt {
 		node.ghosts[fn]--
 		dur += p.c.P.GhostContainerTrigger
+		containerNS = p.c.P.GhostContainerTrigger
 		p.replenishGhosts(node, fn)
 	} else {
 		// Fresh container: creation cost plus its fixed overhead.
 		dur += p.c.P.ContainerCreate
+		containerNS = p.c.P.ContainerCreate
 		pages += ghostPages
 		ownsCtr = true
 	}
@@ -442,8 +493,44 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 		spanName = "scratch-cold"
 	}
 	restored := haveCkpt
+	// cpuSubmit is when the spawn reached the CPU queue (after any
+	// Mitosis uplink copy); uplinkNS is that copy's full span
+	// including its stream-slot queueing.
+	cpuSubmit := t0
+	var uplinkNS des.Time
 	finish := func(end des.Time) {
-		p.c.Trace.EmitFlow(node.os.Index, trace.CatPorter, spanName, end-dur, dur, 0, pages)
+		span := p.c.Trace.EmitFlow(node.os.Index, trace.CatPorter, spanName, end-dur, dur, 0, pages)
+		if p.c.XRay.Enabled() {
+			execStart := end - dur
+			// Restore blame accrued toward a request that degraded to
+			// a scratch cold start never reaches the restore-latency
+			// recorder — account it as unattributed instead of losing
+			// it (the NewDES lookahead / per-link charge drop fix).
+			var unattr des.Time
+			if !restored {
+				unattr = probeNS + backoffNS
+			}
+			p.c.XRay.Observe(xray.Request{
+				Class:   spanName,
+				Name:    fn,
+				Span:    int(span),
+				Arrived: int64(req.arrived),
+				Latency: int64(end - req.arrived),
+				Device:  devIdx,
+				Components: []xray.Component{
+					{Name: xray.CompPorterQueue, NS: int64(t0 - req.arrived)},
+					{Name: xray.CompUplink, NS: int64(uplinkNS)},
+					{Name: xray.CompCPUQueue, NS: int64(execStart - cpuSubmit)},
+					{Name: xray.CompProbe, NS: int64(probeNS)},
+					{Name: xray.CompBackoff, NS: int64(backoffNS)},
+					{Name: xray.CompFabric, NS: int64(fabricExtra)},
+					{Name: restoreComp, NS: int64(restoreSvc)},
+					{Name: xray.CompContainer, NS: int64(containerNS)},
+					{Name: xray.CompExec, NS: int64(execSvc)},
+				},
+				UnattributedNS: int64(unattr),
+			})
+		}
 		if restored {
 			img.Release()
 		}
@@ -453,7 +540,10 @@ func (p *Porter) trySpawn(fn string, req *pending) bool {
 	if remoteCopy > 0 {
 		// Pull the pages through the parent node's uplink first, then
 		// run the rest of the cold start on a local core.
-		p.parentUplink.Exec(remoteCopy, func(des.Time) {
+		upStart := p.c.Eng.Now()
+		p.parentUplink.Exec(remoteCopy, func(upEnd des.Time) {
+			uplinkNS = upEnd - upStart
+			cpuSubmit = upEnd
 			node.cpu.Exec(dur, finish)
 		})
 	} else {

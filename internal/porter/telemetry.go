@@ -79,6 +79,14 @@ func (p *Porter) registerTelemetry() {
 	if p.rep != nil {
 		p.rep.RegisterTelemetry(reg)
 	}
+	if p.c.XRay.Enabled() {
+		// Registered only when attribution is on, so the exported
+		// series set — and every pinned telemetry golden — is
+		// untouched by default.
+		reg.CounterFunc("cxlfork_xray_unattributed_seconds_total",
+			"restore blame (failover probes plus backoff) accrued toward requests that degraded to scratch cold starts, surfaced instead of silently dropped",
+			func(des.Time) float64 { return float64(p.c.XRay.UnattributedNS()) / float64(des.Second) })
+	}
 
 	p.slo = telemetry.NewEngine(reg)
 	pp := p.c.P

@@ -25,6 +25,7 @@ const NDJSONContentType = "application/x-ndjson"
 //	GET    /v1/sessions/{id}     session status + report
 //	DELETE /v1/sessions/{id}     cancel a session
 //	GET    /v1/sessions/{id}/stream   NDJSON frame stream (replay + follow)
+//	GET    /v1/sessions/{id}/xray     attribution report (?format=text for the blame table)
 //	GET    /v1/designs           designs and functions the server accepts
 //	GET    /healthz              liveness ("ok", or "draining" during shutdown)
 //	GET    /metricz              server metrics, Prometheus text format
@@ -90,6 +91,29 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		writeJSON(w, sessionSummary(s))
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}/xray", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such session", 0)
+			return
+		}
+		if !s.State().Terminal() {
+			writeError(w, http.StatusConflict, "session still running; xray is available once the session is terminal", 0)
+			return
+		}
+		report := s.Report()
+		if report == nil || report.XRay == nil {
+			writeError(w, http.StatusNotFound, "no xray report (set config.xray in the spec)", 0)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = report.XRay.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, report.XRay)
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		s, ok := m.Get(r.PathValue("id"))

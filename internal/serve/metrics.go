@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -42,6 +43,18 @@ func (m *Manager) WriteMetricz(w io.Writer) error {
 	}
 	ms = append(ms, metric{"cxlserved_draining", "1 while the server is shutting down.", "gauge", drain})
 	m.mu.Unlock()
+
+	// Go runtime health, read outside the manager lock: these are the
+	// process-side gauges an operator watches next to -debug-addr's
+	// pprof endpoints.
+	var rt runtime.MemStats
+	runtime.ReadMemStats(&rt)
+	ms = append(ms,
+		metric{"cxlserved_goroutines", "Live goroutines in the serving process.", "gauge", float64(runtime.NumGoroutine())},
+		metric{"cxlserved_heap_bytes", "Heap bytes currently allocated (runtime HeapAlloc).", "gauge", float64(rt.HeapAlloc)},
+		metric{"cxlserved_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", "counter", float64(rt.PauseTotalNs) / 1e9},
+		metric{"cxlserved_gc_cycles_total", "Completed GC cycles.", "counter", float64(rt.NumGC)},
+	)
 
 	ts := time.Since(m.start).Milliseconds()
 	if ts < 0 {

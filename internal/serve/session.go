@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cxlfork"
+	"cxlfork/internal/xray"
 )
 
 // State is a session's lifecycle position.
@@ -208,6 +209,9 @@ func (s *Session) finish(report *cxlfork.RunReport, runErr error, ctxErr error) 
 	}
 
 	if report != nil {
+		if report.XRay != nil {
+			s.append(xrayFrame{Type: "xray", Session: s.ID, Report: report.XRay})
+		}
 		s.append(resultFrame{Type: "result", Session: s.ID, Report: report})
 	}
 	s.mu.Lock()
@@ -320,6 +324,14 @@ type alertFrame struct {
 	Firing    bool    `json:"firing"`
 	Short     float64 `json:"short"`
 	Long      float64 `json:"long"`
+}
+
+// xrayFrame carries the session's critical-path attribution report,
+// emitted just before the result frame when the spec set config.xray.
+type xrayFrame struct {
+	Type    string       `json:"type"`
+	Session string       `json:"session"`
+	Report  *xray.Report `json:"report"`
 }
 
 // resultFrame carries the final (or partial, if interrupted) report.

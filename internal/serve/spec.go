@@ -89,6 +89,10 @@ type ConfigSpec struct {
 	// (DESIGN.md §11). Streaming sessions always sample; Enabled is
 	// implied.
 	Telemetry TelemetrySpec `json:"telemetry,omitempty"`
+	// XRay enables critical-path latency attribution (DESIGN.md §16):
+	// the session's result gains a blame report, also served at
+	// GET /v1/sessions/{id}/xray and streamed as an "xray" frame.
+	XRay bool `json:"xray,omitempty"`
 }
 
 // CapacitySpec mirrors cxlfork.CapacityConfig.
@@ -257,6 +261,7 @@ func (s Spec) build() (cxlfork.Config, cxlfork.Workload) {
 			SLOColdStartP99: time.Duration(c.Telemetry.SLOColdStartP99),
 			SLODrive:        c.Telemetry.SLODrive,
 		},
+		XRay: c.XRay,
 	}
 	w := s.Workload
 	wl := cxlfork.Workload{

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cxlfork/internal/xray"
+)
+
+// xraySpec is the fast spec with attribution switched on.
+func xraySpec() Spec {
+	s := fastSpec()
+	s.Config.XRay = true
+	return s
+}
+
+// TestXRayFrameAndEndpoint pins the serving surface of the blame
+// report: an attributed session emits one "xray" frame immediately
+// before its result frame, and GET /v1/sessions/{id}/xray serves the
+// same report as JSON and as the cxlstat-identical text table.
+func TestXRayFrameAndEndpoint(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1})
+	defer drainNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	resp := postSpec(t, srv.Client(), srv.URL+"/v1/sessions", xraySpec())
+	var sum struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatalf("decode submit reply: %v", err)
+	}
+	resp.Body.Close()
+	s, ok := m.Get(sum.ID)
+	if !ok {
+		t.Fatal("session not found")
+	}
+	waitTerminal(t, s, 30e9)
+
+	heads := decodeFrames(t, s)
+	if len(heads) < 3 {
+		t.Fatalf("stream too short: %+v", heads)
+	}
+	// ... sample*, xray, result, eof.
+	if got := heads[len(heads)-2].Type; got != "result" {
+		t.Fatalf("penultimate frame %q, want result", got)
+	}
+	if got := heads[len(heads)-3].Type; got != "xray" {
+		t.Fatalf("frame before result is %q, want xray", got)
+	}
+
+	report := s.Report()
+	if report == nil || report.XRay == nil {
+		t.Fatal("terminal session has no XRay report")
+	}
+
+	// JSON shape: the endpoint serves the report verbatim.
+	jr, err := srv.Client().Get(srv.URL + "/v1/sessions/" + sum.ID + "/xray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Fatalf("GET xray status = %d, want 200", jr.StatusCode)
+	}
+	var got xray.Report
+	if err := json.NewDecoder(jr.Body).Decode(&got); err != nil {
+		t.Fatalf("decode xray report: %v", err)
+	}
+	if got.Requests != report.XRay.Requests || got.Fingerprint() != report.XRay.Fingerprint() {
+		t.Fatalf("endpoint report diverges: %d/%#x vs %d/%#x",
+			got.Requests, got.Fingerprint(), report.XRay.Requests, report.XRay.Fingerprint())
+	}
+
+	// Text shape: byte-identical to the report's own rendering — the
+	// same table cxlstat -xray prints.
+	tr, err := srv.Client().Get(srv.URL + "/v1/sessions/" + sum.ID + "/xray?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	body, err := io.ReadAll(tr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != report.XRay.Text() {
+		t.Fatalf("text endpoint diverges from Report.Text:\n%s", body)
+	}
+}
+
+// TestXRayEndpointErrors pins the endpoint's refusal paths: unknown
+// session, a session that ran without attribution, and a session that
+// is still running.
+func TestXRayEndpointErrors(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 1})
+	defer drainNow(t, m)
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	if r, _ := srv.Client().Get(srv.URL + "/v1/sessions/nope/xray"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session status = %d, want 404", r.StatusCode)
+	}
+
+	// Attribution off: terminal session, no report to serve.
+	resp := postSpec(t, srv.Client(), srv.URL+"/v1/sessions", fastSpec())
+	var sum struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	s, _ := m.Get(sum.ID)
+	waitTerminal(t, s, 30e9)
+	if r, _ := srv.Client().Get(srv.URL + "/v1/sessions/" + sum.ID + "/xray"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unattributed session status = %d, want 404", r.StatusCode)
+	}
+
+	// Still running: 409 until terminal.
+	resp = postSpec(t, srv.Client(), srv.URL+"/v1/sessions", slowSpec())
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	s, _ = m.Get(sum.ID)
+	waitRunning(t, s, 30e9)
+	if r, _ := srv.Client().Get(srv.URL + "/v1/sessions/" + sum.ID + "/xray"); r.StatusCode != http.StatusConflict {
+		t.Fatalf("running session status = %d, want 409", r.StatusCode)
+	}
+	s.requestCancel(ReasonCanceled)
+	waitTerminal(t, s, 30e9)
+}

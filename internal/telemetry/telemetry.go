@@ -157,12 +157,13 @@ func (s *Series) Window(from, to des.Time, fn func(Sample)) {
 // so instrumented code needs no enabled-checks (the same contract as
 // trace.Tracer).
 type Registry struct {
-	every     des.Time
-	seriesCap int
-	series    []*Series // registration order — the sampling order
-	byKey     map[string]*Series
-	ticks     int64
-	sink      SinkFunc
+	every      des.Time
+	seriesCap  int
+	series     []*Series // registration order — the sampling order
+	byKey      map[string]*Series
+	ticks      int64
+	sink       SinkFunc
+	sinkPanics int64
 }
 
 // SinkFunc observes one completed sampling tick. The registry calls it
@@ -179,7 +180,9 @@ type SinkFunc func(now des.Time)
 // Like every probe, the sink is observational: installing one changes
 // no sampled value, so runs with and without a sink stay byte-identical
 // — unless the sink itself stops the engine, which is exactly the
-// cancellation path the serving layer uses.
+// cancellation path the serving layer uses. A sink that panics is
+// absorbed and uninstalled (see Sample), so a broken exporter cannot
+// corrupt the run it was watching.
 func (r *Registry) SetSink(fn SinkFunc) {
 	if r == nil {
 		return
@@ -262,8 +265,33 @@ func (r *Registry) Sample(now des.Time) {
 		s.append(now, s.probe(now))
 	}
 	if r.sink != nil {
-		r.sink(now)
+		r.safeSink(now)
 	}
+}
+
+// safeSink invokes the sink with panic isolation: every series has
+// already appended its point for the tick, so a sink that panics (a
+// broken exporter, a closed channel) loses only its own delivery — the
+// sampled timeline, tick count, and run results are untouched. The
+// panicking sink is uninstalled so one bad export cannot panic every
+// subsequent tick; SinkPanics reports how many times that happened.
+func (r *Registry) safeSink(now des.Time) {
+	defer func() {
+		if recover() != nil {
+			r.sinkPanics++
+			r.sink = nil
+		}
+	}()
+	r.sink(now)
+}
+
+// SinkPanics returns how many sampling sinks were uninstalled after
+// panicking mid-tick (0 in a healthy run).
+func (r *Registry) SinkPanics() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.sinkPanics
 }
 
 // Ticks returns how many sample ticks have run.

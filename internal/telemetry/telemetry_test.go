@@ -227,3 +227,77 @@ func TestSeriesAccessors(t *testing.T) {
 		t.Fatalf("labels = %v", got)
 	}
 }
+
+// A sink that panics must lose only its own delivery: the tick still
+// counts, every series still appends its point, the sink is
+// uninstalled, and later ticks run clean (DESIGN.md §16 hardening).
+func TestPanickingSinkIsAbsorbedAndUninstalled(t *testing.T) {
+	r := New(0, 8)
+	r.Gauge("g", "h", func(now des.Time) float64 { return float64(now) })
+	calls := 0
+	r.SetSink(func(des.Time) {
+		calls++
+		panic("broken exporter")
+	})
+	r.Sample(10)
+	r.Sample(20)
+	if calls != 1 {
+		t.Fatalf("sink called %d times, want 1 (uninstall after panic)", calls)
+	}
+	if r.SinkPanics() != 1 {
+		t.Fatalf("SinkPanics = %d, want 1", r.SinkPanics())
+	}
+	if r.Ticks() != 2 {
+		t.Fatalf("ticks = %d, want 2 — panic must not eat the tick", r.Ticks())
+	}
+	s := r.Lookup("g")
+	if s.Len() != 2 {
+		t.Fatalf("series has %d samples, want 2", s.Len())
+	}
+	if got := s.Samples(); got[0] != (Sample{T: 10, V: 10}) || got[1] != (Sample{T: 20, V: 20}) {
+		t.Fatalf("samples perturbed: %v", got)
+	}
+}
+
+// The panicking-sink path must not change what was sampled: a registry
+// fed identically with a healthy sink, a panicking sink, and no sink
+// exports byte-identical expositions.
+func TestSinkFailureDoesNotAlterExport(t *testing.T) {
+	build := func(sink SinkFunc) string {
+		r := New(0, 8)
+		v := 0.0
+		r.Gauge("g", "h", func(des.Time) float64 { v++; return v })
+		r.SetSink(sink)
+		for i := des.Time(1); i <= 4; i++ {
+			r.Sample(i * 10)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	none := build(nil)
+	healthy := build(func(des.Time) {})
+	// A "slow" sink (burning work inside the tick) and a panicking one:
+	// neither may leak into the sampled values.
+	slow := build(func(des.Time) {
+		x := 0
+		for i := 0; i < 1000; i++ {
+			x += i
+		}
+		_ = x
+	})
+	broken := build(func(des.Time) { panic("boom") })
+	if healthy != none || slow != none || broken != none {
+		t.Fatal("sink behavior leaked into the exported samples")
+	}
+}
+
+// SinkPanics on a nil registry must be as safe as every other method.
+func TestSinkPanicsNilSafe(t *testing.T) {
+	var r *Registry
+	if r.SinkPanics() != 0 {
+		t.Fatal("nil registry reports sink panics")
+	}
+}

@@ -21,6 +21,55 @@ import (
 // and events follow in emission order, so identical simulations yield
 // byte-identical files.
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	return t.writeChrome(w, nil)
+}
+
+// WriteChromeCritical is WriteChrome with each root span's critical
+// path marked: spans on the path carry "critical":1 in their args, so
+// a Perfetto query (or any JSON reader) can isolate the chain that set
+// the end-to-end latency. Readers that don't know the key ignore it —
+// the rest of the file is byte-identical to WriteChrome's.
+func (t *Tracer) WriteChromeCritical(w io.Writer) error {
+	return t.writeChrome(w, Critical(t.Events()))
+}
+
+// Critical returns the span IDs on every root span's critical path:
+// from each parentless span, repeatedly descend into the direct child
+// whose interval ends last (ties broken by longer duration, then lower
+// span ID — a total order, so the marking is deterministic).
+func Critical(events []Event) map[SpanID]bool {
+	children := make(map[SpanID][]SpanID)
+	for i := range events {
+		if p := events[i].Parent; p != None {
+			children[p] = append(children[p], SpanID(i+1))
+		}
+	}
+	marked := make(map[SpanID]bool)
+	var descend func(id SpanID)
+	descend = func(id SpanID) {
+		marked[id] = true
+		kids := children[id]
+		if len(kids) == 0 {
+			return
+		}
+		best := kids[0]
+		for _, k := range kids[1:] {
+			be, ke := events[best-1].End(), events[k-1].End()
+			if ke > be || (ke == be && events[k-1].Dur > events[best-1].Dur) {
+				best = k
+			}
+		}
+		descend(best)
+	}
+	for i := range events {
+		if events[i].Parent == None {
+			descend(SpanID(i + 1))
+		}
+	}
+	return marked
+}
+
+func (t *Tracer) writeChrome(w io.Writer, critical map[SpanID]bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
 		return err
@@ -63,9 +112,13 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	}
 
 	for i, e := range t.Events() {
-		emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":%q,"args":{"span":%d,"parent":%d,"bytes":%d,"pages":%d}}`,
+		mark := ""
+		if critical[SpanID(i+1)] {
+			mark = `,"critical":1`
+		}
+		emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%q,"cat":%q,"args":{"span":%d,"parent":%d,"bytes":%d,"pages":%d%s}}`,
 			e.Node, e.Track, usec(e.Begin), usec(e.Dur), e.Name, e.Cat,
-			i+1, int(e.Parent), e.Bytes, e.Pages))
+			i+1, int(e.Parent), e.Bytes, e.Pages, mark))
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
 		return err

@@ -323,3 +323,46 @@ func TestCollectAndEmitShards(t *testing.T) {
 		}
 	}
 }
+
+// TestCriticalPathSelection pins the critical-path walk: from every
+// root, descend into the direct child finishing last (ties: larger
+// duration, then lower span ID), marking the chain.
+func TestCriticalPathSelection(t *testing.T) {
+	tr := New(0)
+	a := tr.Emit(None, 0, TrackOps, CatOp, "restore", 0, 100, 0, 1)
+	early := tr.Emit(a, 0, TrackOps, CatPhase, "early", 0, 40, 0, 1)
+	long := tr.Emit(a, 0, TrackOps, CatPhase, "long", 40, 60, 0, 1)
+	deep := tr.Emit(long, 0, TrackOps, CatPhase, "deep", 40, 60, 0, 1)
+	// Ends at 100 like "long", but shorter: the tie breaks on duration.
+	late := tr.Emit(a, 0, TrackOps, CatPhase, "late", 95, 5, 0, 1)
+	b := tr.Emit(None, 1, TrackOps, CatOp, "checkpoint", 200, 50, 0, 1)
+
+	crit := Critical(tr.Events())
+	for _, id := range []SpanID{a, long, deep, b} {
+		if !crit[id] {
+			t.Fatalf("span %d missing from critical path: %v", id, crit)
+		}
+	}
+	for _, id := range []SpanID{early, late} {
+		if crit[id] {
+			t.Fatalf("span %d wrongly marked critical: %v", id, crit)
+		}
+	}
+
+	var plain, marked bytes.Buffer
+	if err := tr.WriteChrome(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeCritical(&marked); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(marked.Bytes(), []byte(`"critical":1`)); n != 4 {
+		t.Fatalf("marked trace carries %d critical flags, want 4", n)
+	}
+	if bytes.Contains(plain.Bytes(), []byte(`"critical"`)) {
+		t.Fatal("plain WriteChrome leaked critical marks")
+	}
+	if !json.Valid(marked.Bytes()) {
+		t.Fatal("marked trace is not valid JSON")
+	}
+}

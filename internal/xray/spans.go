@@ -1,0 +1,49 @@
+package xray
+
+import "cxlfork/internal/trace"
+
+// FromSpans builds an attribution report directly from a recorded span
+// stream: every operation span (CatOp or CatPorter) becomes one
+// request in its own class, decomposed into its direct phase
+// children's durations, with the op time outside any phase carried as
+// the residual. topK bounds per-class exemplars (DefaultExemplars
+// when <= 0).
+//
+// This is the facade's trace-side view — mechanism-level checkpoint,
+// restore, and fork ops with their serialize/copy/attach/dedup phases
+// — complementary to the porter-fed per-request view, and rendered by
+// the same Report machinery.
+func FromSpans(events []trace.Event, topK int) *Report {
+	a := New(nil, topK)
+	for i, e := range events {
+		if e.Cat != trace.CatOp && e.Cat != trace.CatPorter {
+			continue
+		}
+		id := trace.SpanID(i + 1)
+		// Merge repeated phase names (per-VMA copy rounds, per-leaf
+		// attaches) into one component each, first-seen order.
+		var comps []Component
+		idx := map[string]int{}
+		for _, child := range events[i+1:] {
+			if child.Parent != id || child.Cat != trace.CatPhase {
+				continue
+			}
+			if j, ok := idx[child.Name]; ok {
+				comps[j].NS += int64(child.Dur)
+				continue
+			}
+			idx[child.Name] = len(comps)
+			comps = append(comps, Component{Name: child.Name, NS: int64(child.Dur)})
+		}
+		a.Observe(Request{
+			Class:      e.Cat + "/" + e.Name,
+			Name:       e.Name,
+			Span:       int(id),
+			Arrived:    int64(e.Begin),
+			Latency:    int64(e.Dur),
+			Device:     -1,
+			Components: comps,
+		})
+	}
+	return a.Report()
+}

@@ -16,6 +16,7 @@ import (
 	"cxlfork/internal/porter"
 	"cxlfork/internal/rfork"
 	"cxlfork/internal/telemetry"
+	"cxlfork/internal/xray"
 )
 
 // ErrInterrupted is returned by RunWorkload when RunOptions.Interrupt
@@ -150,6 +151,13 @@ type RunReport struct {
 	Alerts          []AlertEvent               `json:"-"`
 	Fingerprint     string                     `json:"fingerprint"`
 	Interrupted     bool                       `json:"interrupted,omitempty"`
+	// XRay is the run's critical-path attribution report — the porter's
+	// exact per-request blame decomposition — present only when
+	// Config.XRay is set. It is observational: Fingerprint is computed
+	// over the simulated results alone, so two runs differing only in
+	// XRay carry equal fingerprints (the report has its own
+	// byte-deterministic Fingerprint method).
+	XRay *xray.Report `json:"xray,omitempty"`
 }
 
 // scenariosFor returns the calibration scenarios a design's profiles
@@ -312,6 +320,9 @@ func RunWorkload(cfg Config, wl Workload, opts *RunOptions) (*RunReport, error) 
 
 	results := po.Run(trace)
 	report := buildReport(wl.Design, results, po.SLOAlerts(), interrupted)
+	if c.XRay.Enabled() {
+		report.XRay = c.XRay.Report()
+	}
 	if interrupted {
 		return report, ErrInterrupted
 	}
